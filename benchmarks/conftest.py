@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Every benchmark regenerates one paper table/figure and prints the rows
+the paper plots.  By default a reduced-but-same-shape scale is used so
+the whole suite finishes in minutes; set ``REPRO_FULL=1`` for the
+paper's full 50-node / 200-slot configuration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """Experiment scale: quick by default, paper with REPRO_FULL=1."""
+    return ExperimentScale.from_env()
+
+
+def scaled_gamma(paper_gamma: int, node_count: int) -> int:
+    """Scale a paper γ (defined for 50 nodes) to the bench node count."""
+    return max(2, round(paper_gamma * node_count / 50))
+
+
+def scaled_counts(paper_counts, node_count: int):
+    """Scale the malicious sweep to the bench node count (deduplicated)."""
+    scaled = sorted({round(m * node_count / 50) for m in paper_counts})
+    return scaled

@@ -1,0 +1,62 @@
+"""Fig. 8 — communication overhead benchmarks.
+
+Targets regenerate: (a) overall traffic for 2LDAG @33%/49% tolerance vs
+PBFT/IOTA; (b) DAG-construction traffic; (c) consensus traffic; (d) the
+per-node CDF.  Expected shape: 2LDAG orders of magnitude below the
+baselines; consensus traffic dominates digest traffic; 49% tolerance
+costs more than 33%; the CDF shows a relay-node heavy tail.
+"""
+
+import pytest
+
+from repro.experiments.fig8_comm import run_fig8
+from repro.metrics.reporting import render_cdf_rows
+
+
+@pytest.fixture(scope="module")
+def fig8(scale):
+    return run_fig8(scale)
+
+
+def test_fig8a_overall(benchmark, scale):
+    result = benchmark.pedantic(run_fig8, args=(scale,), rounds=1, iterations=1)
+    print("\n=== Fig. 8(a)  overall per-node communication (Mbit) ===")
+    print(result.to_table("a"))
+    final = -1
+    for label in ("2LDAG-33%", "2LDAG-49%"):
+        ldag = result.overall_mbit[label][final]
+        assert result.overall_mbit["PBFT"][final] > 10 * ldag
+        assert result.overall_mbit["IOTA"][final] > 10 * ldag
+
+
+def test_fig8b_dag_construction(fig8, benchmark):
+    benchmark.pedantic(lambda: fig8.to_table("b"), rounds=1, iterations=1)
+    print("\n=== Fig. 8(b)  DAG-construction traffic (Mbit) ===")
+    print(fig8.to_table("b"))
+    # Digest traffic is identical for both tolerances (γ plays no role
+    # in generation) and tiny in absolute terms.
+    final = -1
+    assert fig8.dag_mbit["2LDAG-33%"][final] == pytest.approx(
+        fig8.dag_mbit["2LDAG-49%"][final], rel=0.01
+    )
+
+
+def test_fig8c_consensus(fig8, benchmark):
+    benchmark.pedantic(lambda: fig8.to_table("c"), rounds=1, iterations=1)
+    print("\n=== Fig. 8(c)  consensus (PoP) traffic (Mbit) ===")
+    print(fig8.to_table("c"))
+    final = -1
+    assert (
+        fig8.consensus_mbit["2LDAG-49%"][final]
+        >= fig8.consensus_mbit["2LDAG-33%"][final]
+    )
+    assert fig8.consensus_mbit["2LDAG-33%"][final] > fig8.dag_mbit["2LDAG-33%"][final]
+
+
+def test_fig8d_cdf(fig8, benchmark):
+    benchmark.pedantic(lambda: fig8.cdf("2LDAG-33%"), rounds=1, iterations=1)
+    cdf = fig8.cdf("2LDAG-33%")
+    print("\n=== Fig. 8(d)  CDF of per-node communication (MB) ===")
+    print(render_cdf_rows(cdf.steps(), "comm MB"))
+    # Heavy tail: the busiest relay transmits well above the median.
+    assert cdf.max > 1.5 * cdf.quantile(0.5)

@@ -1,0 +1,62 @@
+"""Fig. 9 — consensus-time benchmarks.
+
+Each target regenerates one panel: consensus failure probability versus
+DAG age for a tolerance γ and a sweep of actually-malicious node
+counts.  γ and the sweeps are scaled to the bench node count when not
+running at full paper scale.  Expected shape: failure decays to zero;
+slots-to-consensus grow with γ and explode only near the 49% limit.
+"""
+
+import pytest
+
+from benchmarks.conftest import scaled_counts, scaled_gamma
+from repro.experiments.fig9_consensus import PAPER_PANELS, run_fig9
+
+
+@pytest.mark.parametrize("panel", ["a", "b", "c", "d"])
+def test_fig9_panel(benchmark, scale, panel):
+    spec = PAPER_PANELS[panel]
+    gamma = scaled_gamma(spec["gamma"], scale.node_count)
+    malicious = scaled_counts(spec["malicious_counts"], scale.node_count)
+    # Keep malicious ≤ γ (the paper's tolerable bound).
+    malicious = [m for m in malicious if m <= gamma]
+
+    result = benchmark.pedantic(
+        run_fig9,
+        args=(gamma, malicious),
+        kwargs={"scale": scale},
+        rounds=1,
+        iterations=1,
+    )
+    print(
+        f"\n=== Fig. 9({panel})  gamma={gamma} "
+        f"(scaled from {spec['gamma']}/50 nodes)  failure probability ==="
+    )
+    print(result.to_table())
+    for m in malicious:
+        slot = result.consensus_slot(m)
+        print(f"consensus slot with {m} malicious: {slot}")
+
+    # Shape assertions: failure decays with DAG age for every sweep.
+    for m in malicious:
+        series = result.failure_probability[m]
+        assert series[-1] <= series[0]
+    # The honest run must reach consensus within the sampled window.
+    assert result.consensus_slot(malicious[0]) is not None
+
+
+def test_fig9_gamma_scaling(benchmark, scale):
+    """Cross-panel claim: larger γ never speeds consensus up."""
+
+    def run_pair():
+        small = run_fig9(scaled_gamma(10, scale.node_count), [0], scale=scale)
+        large = run_fig9(scaled_gamma(20, scale.node_count), [0], scale=scale)
+        return small, large
+
+    small, large = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    s_slot = small.consensus_slot(0)
+    l_slot = large.consensus_slot(0)
+    print(f"\nconsensus slot gamma={small.gamma}: {s_slot}; gamma={large.gamma}: {l_slot}")
+    assert s_slot is not None
+    if l_slot is not None:
+        assert l_slot >= s_slot

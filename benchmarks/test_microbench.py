@@ -1,0 +1,93 @@
+"""Micro-benchmarks of the hot primitives (classic pytest-benchmark).
+
+Not paper figures — these track the implementation's own performance:
+block building, Merkle hashing, DAG insertion, WPS scoring, routing.
+"""
+
+import random
+
+from repro.core.block import build_block, make_body
+from repro.core.config import ProtocolConfig
+from repro.core.dag import LogicalDag
+from repro.core.pop.wps import weighted_path_selection
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair
+from repro.crypto.merkle import MerkleTree
+from repro.net.routing import RoutingTable
+from repro.net.topology import sequential_geometric_topology
+from repro.sim.rng import RandomStreams
+
+CONFIG = ProtocolConfig(body_bits=80_000, gamma=8)
+KEYPAIR = KeyPair.generate(1)
+
+
+def test_bench_block_build(benchmark):
+    digests = {j: hash_bytes(f"d{j}".encode()) for j in range(8)}
+
+    def build():
+        return build_block(
+            origin=1, index=0, time=0.0, body=make_body(1, 0, CONFIG),
+            digests=digests, keypair=KEYPAIR, config=CONFIG,
+        )
+
+    block = benchmark(build)
+    assert block.verify_body_root()
+
+
+def test_bench_merkle_tree(benchmark):
+    chunks = [f"chunk-{i}".encode() * 100 for i in range(64)]
+    tree = benchmark(MerkleTree, chunks)
+    assert tree.leaf_count == 64
+
+
+def test_bench_header_digest(benchmark):
+    block = build_block(
+        origin=1, index=0, time=0.0, body=make_body(1, 0, CONFIG),
+        digests={}, keypair=KEYPAIR, config=CONFIG,
+    )
+    digest = benchmark(block.header.digest)
+    assert digest.bits == 256
+
+
+def test_bench_dag_insertion(benchmark):
+    blocks = []
+    previous = None
+    for i in range(200):
+        digests = {1: previous.digest()} if previous else {}
+        block = build_block(
+            origin=1, index=i, time=float(i), body=make_body(1, i, CONFIG),
+            digests=digests, keypair=KEYPAIR, config=CONFIG,
+        )
+        blocks.append(block)
+        previous = block
+
+    def insert_all():
+        dag = LogicalDag()
+        for block in blocks:
+            dag.add_header(block.header)
+        return dag
+
+    dag = benchmark(insert_all)
+    assert len(dag) == 200
+
+
+def test_bench_wps_selection(benchmark):
+    topology = sequential_geometric_topology(
+        node_count=50, streams=RandomStreams(1)
+    )
+    rng = random.Random(0)
+    consensus = set(range(10))
+    candidates = list(topology.neighbors(0)) or [1]
+
+    chosen = benchmark(
+        weighted_path_selection, consensus, candidates, topology, rng
+    )
+    assert chosen in set(candidates)
+
+
+def test_bench_routing_table(benchmark):
+    topology = sequential_geometric_topology(
+        node_count=50, streams=RandomStreams(2)
+    )
+    table = benchmark(RoutingTable, topology)
+    assert table.diameter() >= 1

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on minimal environments without the
+``wheel`` package (legacy editable installs go through ``setup.py
+develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""2LDAG — a reproduction of "A Novel Two-Layer DAG-Based Reactive
+Protocol for IoT Data Reliability in Metaverse" (ICDCS 2023).
+
+Public API
+----------
+The most commonly used entry points are re-exported here:
+
+* :class:`~repro.core.config.ProtocolConfig` — protocol constants;
+* :class:`~repro.core.protocol.TwoLayerDagNetwork` — a wired deployment;
+* :class:`~repro.core.protocol.SlotSimulation` — the paper's workload;
+* :class:`~repro.core.node.IoTNode` — one participant;
+* :class:`~repro.core.pop.validator.PopValidator` /
+  :class:`~repro.core.pop.validator.PopOutcome` — on-demand
+  verification (Proof-of-Path);
+* :mod:`repro.baselines` — PBFT and IOTA comparison systems;
+* :mod:`repro.attacks` — adversarial behaviours;
+* :mod:`repro.experiments` — one runner per paper figure.
+
+Quickstart
+----------
+>>> from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
+>>> from repro.net.topology import grid_topology
+>>> deployment = TwoLayerDagNetwork(
+...     config=ProtocolConfig.paper_defaults(gamma=3),
+...     topology=grid_topology(3, 3),
+...     seed=7,
+... )
+>>> sim = SlotSimulation(deployment, validate=True, validation_min_age_slots=9)
+>>> sim.run(30)
+>>> sim.success_rate() > 0
+True
+"""
+
+from repro.core.audit import ChunkProof, make_chunk_proof, verify_chunk_proof
+from repro.core.block import BlockBody, BlockHeader, BlockId, DataBlock
+from repro.core.config import ProtocolConfig
+from repro.core.dag import LogicalDag
+from repro.core.node import IoTNode, NodeBehavior
+from repro.core.pop.batch import BatchReport, verify_batch
+from repro.core.pop.validator import PopOutcome, PopValidator
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.core.wire import decode_block, decode_header, encode_block, encode_header
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchReport",
+    "BlockBody",
+    "BlockHeader",
+    "BlockId",
+    "ChunkProof",
+    "DataBlock",
+    "IoTNode",
+    "LogicalDag",
+    "NodeBehavior",
+    "PopOutcome",
+    "PopValidator",
+    "ProtocolConfig",
+    "SlotSimulation",
+    "TwoLayerDagNetwork",
+    "__version__",
+    "decode_block",
+    "decode_header",
+    "encode_block",
+    "encode_header",
+    "make_chunk_proof",
+    "verify_batch",
+    "verify_chunk_proof",
+]

@@ -1,0 +1,112 @@
+"""Multi-seed experiment statistics.
+
+The paper reports single-run curves; a careful reproduction wants
+means and confidence intervals over seeds.  This module aggregates
+repeated experiment runs: per-point mean, sample standard deviation and
+a normal-approximation confidence interval (exact Student-t constants
+for the small seed counts actually used).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+#: Two-sided 95% Student-t critical values by degrees of freedom.
+_T_95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+}
+
+
+def t_critical_95(dof: int) -> float:
+    """95% two-sided t value; 1.96 beyond the tabulated range."""
+    if dof < 1:
+        raise ValueError("need at least two samples for an interval")
+    return _T_95.get(dof, 1.96)
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Pointwise statistics of repeated series."""
+
+    mean: List[float]
+    std: List[float]
+    ci_half_width: List[float]
+    runs: int
+
+    def lower(self) -> List[float]:
+        """Mean minus the CI half-width, pointwise."""
+        return [m - h for m, h in zip(self.mean, self.ci_half_width)]
+
+    def upper(self) -> List[float]:
+        """Mean plus the CI half-width, pointwise."""
+        return [m + h for m, h in zip(self.mean, self.ci_half_width)]
+
+
+def aggregate_series(runs: Sequence[Sequence[float]]) -> SeriesStats:
+    """Pointwise mean/std/95%-CI across repeated series.
+
+    All runs must have equal length.  A single run yields zero-width
+    intervals (no variance information).
+    """
+    if not runs:
+        raise ValueError("need at least one run")
+    length = len(runs[0])
+    if any(len(r) != length for r in runs):
+        raise ValueError("all runs must have the same number of points")
+    n = len(runs)
+    mean, std, half = [], [], []
+    for i in range(length):
+        points = [r[i] for r in runs]
+        m = sum(points) / n
+        mean.append(m)
+        if n > 1:
+            variance = sum((p - m) ** 2 for p in points) / (n - 1)
+            s = math.sqrt(variance)
+            std.append(s)
+            half.append(t_critical_95(n - 1) * s / math.sqrt(n))
+        else:
+            std.append(0.0)
+            half.append(0.0)
+    return SeriesStats(mean=mean, std=std, ci_half_width=half, runs=n)
+
+
+def repeat_experiment(
+    run: Callable[[int], Sequence[float]], seeds: Sequence[int]
+) -> SeriesStats:
+    """Run ``run(seed)`` for each seed and aggregate the series."""
+    return aggregate_series([list(run(seed)) for seed in seeds])
+
+
+def compare_final_points(
+    a_runs: Sequence[Sequence[float]], b_runs: Sequence[Sequence[float]]
+) -> Dict[str, float]:
+    """Welch's t-test on the final points of two experiment groups.
+
+    Returns the t statistic, approximate degrees of freedom and the
+    group means — enough to judge whether a measured gap (e.g. 2LDAG
+    vs PBFT storage) is noise.
+    """
+    a = [r[-1] for r in a_runs]
+    b = [r[-1] for r in b_runs]
+    if len(a) < 2 or len(b) < 2:
+        raise ValueError("need at least two runs per group")
+    mean_a = sum(a) / len(a)
+    mean_b = sum(b) / len(b)
+    var_a = sum((x - mean_a) ** 2 for x in a) / (len(a) - 1)
+    var_b = sum((x - mean_b) ** 2 for x in b) / (len(b) - 1)
+    se = math.sqrt(var_a / len(a) + var_b / len(b))
+    if se == 0:
+        t_stat = math.inf if mean_a != mean_b else 0.0
+        dof = float(len(a) + len(b) - 2)
+    else:
+        t_stat = (mean_a - mean_b) / se
+        numerator = (var_a / len(a) + var_b / len(b)) ** 2
+        denominator = (
+            (var_a / len(a)) ** 2 / (len(a) - 1)
+            + (var_b / len(b)) ** 2 / (len(b) - 1)
+        )
+        dof = numerator / denominator if denominator else float(len(a) + len(b) - 2)
+    return {"t": t_stat, "dof": dof, "mean_a": mean_a, "mean_b": mean_b}

@@ -1,0 +1,49 @@
+"""Majority-attack scenario helpers (§IV-D-2, Fig. 9).
+
+In 2LDAG a node never replaces its own blocks, so a classic 51%
+rewrite is impossible; what a coalition *can* do is refuse to serve
+PoP, forcing longer paths or consensus failure.  These helpers build
+such coalitions for the Fig. 9 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.behaviors import SilentResponder
+from repro.core.node import NodeBehavior
+from repro.net.topology import Topology
+from repro.sim.rng import RandomStreams
+
+
+def make_coalition(
+    topology: Topology,
+    size: int,
+    streams: RandomStreams,
+    stream_name: str = "coalition",
+    behavior_factory: Optional[Callable[[], NodeBehavior]] = None,
+    protect: Optional[List[int]] = None,
+) -> Dict[int, NodeBehavior]:
+    """Pick ``size`` malicious nodes uniformly and assign behaviours.
+
+    Parameters
+    ----------
+    protect:
+        Node ids that must stay honest (e.g. the experiment's fixed
+        validator/verifier pair).
+    behavior_factory:
+        Behaviour per coalition member; silent responders by default.
+
+    Returns a ``behaviors`` mapping for
+    :class:`~repro.core.protocol.TwoLayerDagNetwork`.
+    """
+    if behavior_factory is None:
+        behavior_factory = SilentResponder
+    protected = set(protect or [])
+    eligible = [n for n in topology.node_ids if n not in protected]
+    if size > len(eligible):
+        raise ValueError(
+            f"cannot pick {size} malicious nodes from {len(eligible)} eligible"
+        )
+    chosen = streams.sample(stream_name, sorted(eligible), size)
+    return {node_id: behavior_factory() for node_id in chosen}

@@ -1,0 +1,61 @@
+"""Closed-form IOTA cost model for the Fig. 7/8 sweeps.
+
+Storage: every node stores every transaction (payload + tangle
+overhead).  Communication: gossip flooding — the issuer transmits to
+all its neighbours; every other node, on first receipt, retransmits to
+all neighbours except the arrival link.  Total link transmissions per
+transaction are therefore
+
+    deg(source) + Σ_{v ≠ source} (deg(v) - 1)  =  2|E| - (|V| - 1).
+
+The test suite validates the model against the live gossip
+implementation on small topologies.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.baselines.iota.tangle import TX_OVERHEAD_BITS
+from repro.net.topology import Topology
+
+
+class IotaCostModel:
+    """Exact flooding/storage figures for the slot workload."""
+
+    def __init__(self, topology: Topology, payload_bits: int) -> None:
+        self.topology = topology
+        self.payload_bits = payload_bits
+        self.n = topology.node_count
+        self.edge_count = topology.edge_count()
+
+    @property
+    def tx_bits(self) -> int:
+        """Wire/stored size of one transaction."""
+        return self.payload_bits + TX_OVERHEAD_BITS
+
+    def transmissions_per_tx(self) -> int:
+        """Link transmissions to flood one transaction network-wide."""
+        return 2 * self.edge_count - (self.n - 1)
+
+    # -- storage (Fig. 7) -------------------------------------------------------
+    def storage_bits_per_node(self, slots: int) -> float:
+        """Full-tangle storage after ``slots`` slots (n tx per slot)."""
+        return slots * self.n * self.tx_bits
+
+    # -- communication (Fig. 8) ----------------------------------------------
+    def tx_bits_total_per_slot(self) -> float:
+        """Network-wide transmitted bits during one slot."""
+        return self.n * self.transmissions_per_tx() * self.tx_bits
+
+    def mean_tx_bits_per_node(self, slots: int) -> float:
+        """Average per-node transmitted bits after ``slots`` slots."""
+        return self.tx_bits_total_per_slot() * slots / self.n
+
+    def storage_series_mb(self, slot_samples: List[int]) -> List[float]:
+        """Fig. 7 series: storage (MB) at each sampled slot."""
+        return [self.storage_bits_per_node(s) / 8e6 for s in slot_samples]
+
+    def comm_series_mbit(self, slot_samples: List[int]) -> List[float]:
+        """Fig. 8 series: mean per-node transmitted megabits by slot."""
+        return [self.mean_tx_bits_per_node(s) / 1e6 for s in slot_samples]

@@ -1,0 +1,162 @@
+"""IOTA nodes with gossip flooding over the wireless substrate.
+
+Each node keeps a full :class:`~repro.baselines.iota.tangle.Tangle`
+replica.  A node that issues or first receives a transaction forwards
+it to all physical neighbours (except the link it arrived on) — the
+classic flood that gives every participant the whole graph, at the
+communication cost Fig. 8 charges IOTA.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from repro.baselines.iota.tangle import Tangle, Transaction
+from repro.baselines.iota.tip_selection import select_tips_mcmc, select_tips_uniform
+from repro.metrics.collector import StorageLedger, TrafficLedger
+from repro.net.messages import Message
+from repro.net.topology import Topology, sequential_geometric_topology
+from repro.net.transport import Network, NodeInterface
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+
+KIND_TX = "iota.tx"
+
+
+class IotaNode:
+    """One tangle participant."""
+
+    def __init__(
+        self,
+        node_id: int,
+        network: Network,
+        rng: random.Random,
+        tip_strategy: str = "uniform",
+        mcmc_alpha: float = 0.01,
+    ) -> None:
+        if tip_strategy not in ("uniform", "mcmc"):
+            raise ValueError(f"unknown tip strategy: {tip_strategy}")
+        self.node_id = node_id
+        self.network = network
+        self.rng = rng
+        self.tip_strategy = tip_strategy
+        self.mcmc_alpha = mcmc_alpha
+        self.tangle = Tangle()
+        self._issued = 0
+        self.interface: NodeInterface = network.attach(node_id)
+        self.interface.on(KIND_TX, self._on_transaction)
+
+    # -- issuing --------------------------------------------------------------
+    def _select_tips(self) -> List[bytes]:
+        if self.tip_strategy == "mcmc":
+            return select_tips_mcmc(self.tangle, self.rng, alpha=self.mcmc_alpha)
+        return select_tips_uniform(self.tangle, self.rng)
+
+    def issue(self, payload_bits: int) -> Transaction:
+        """Create a transaction approving two tips and gossip it."""
+        parents = tuple(self._select_tips())
+        transaction = Transaction(
+            issuer=self.node_id,
+            index=self._issued,
+            parents=parents,
+            payload_seed=f"iota:{self.node_id}:{self._issued}".encode(),
+            payload_bits=payload_bits,
+            timestamp=self.network.sim.now,
+        )
+        self._issued += 1
+        self.tangle.add(transaction)
+        self._forward(transaction, exclude=None)
+        return transaction
+
+    # -- gossip ---------------------------------------------------------------
+    def _on_transaction(self, message: Message) -> None:
+        transaction: Transaction = message.payload
+        if self.tangle.add(transaction):
+            self._forward(transaction, exclude=message.sender)
+
+    def _forward(self, transaction: Transaction, exclude: Optional[int]) -> None:
+        for neighbor in sorted(self.network.topology.neighbors(self.node_id)):
+            if neighbor != exclude:
+                self.interface.send(neighbor, KIND_TX, transaction, transaction.size_bits)
+
+    # -- accounting --------------------------------------------------------
+    def storage_bits(self) -> int:
+        """Full-tangle storage."""
+        return self.tangle.size_bits()
+
+
+class IotaNetwork:
+    """All IOTA nodes plus the slot-driven issuance workload."""
+
+    def __init__(
+        self,
+        topology: Optional[Topology] = None,
+        payload_bits: int = 4_000_000,
+        seed: int = 0,
+        tip_strategy: str = "uniform",
+        per_hop_latency: float = 0.001,
+    ) -> None:
+        self.streams = RandomStreams(seed)
+        self.topology = (
+            topology
+            if topology is not None
+            else sequential_geometric_topology(streams=self.streams)
+        )
+        self.payload_bits = payload_bits
+        self.sim = Simulator()
+        self.traffic = TrafficLedger()
+        self.network = Network(
+            self.sim,
+            self.topology,
+            ledger=self.traffic,
+            per_hop_latency=per_hop_latency,
+            category_fn=lambda kind: "iota",
+        )
+        self.nodes: Dict[int, IotaNode] = {
+            node_id: IotaNode(
+                node_id,
+                self.network,
+                rng=self.streams.get(f"iota:{node_id}"),
+                tip_strategy=tip_strategy,
+            )
+            for node_id in self.topology.node_ids
+        }
+        self.current_slot = -1
+
+    def run_slots(self, slots: int, settle_time: float = 2.0) -> None:
+        """Every node issues one transaction per slot; gossip settles."""
+        for _ in range(slots):
+            self.current_slot += 1
+            slot = self.current_slot
+            # Never schedule behind the clock after a previous settle.
+            slot_time = max(float(slot), self.sim.now)
+            for node in self.nodes.values():
+                self.sim.call_at(
+                    slot_time, lambda n=node: n.issue(self.payload_bits)
+                )
+            self.sim.run(until=slot_time + 1)
+        self.sim.run(until=self.sim.now + settle_time)
+
+    # -- measurement --------------------------------------------------------
+    @property
+    def node_ids(self) -> List[int]:
+        """All node ids."""
+        return self.topology.node_ids
+
+    def tangles_consistent(self) -> bool:
+        """Whether every node converged to the same transaction set."""
+        sizes = {len(n.tangle) for n in self.nodes.values()}
+        return len(sizes) == 1
+
+    def storage_snapshot(self) -> StorageLedger:
+        """Per-node tangle storage."""
+        ledger = StorageLedger()
+        for node_id, node in self.nodes.items():
+            ledger.set_bits(node_id, "tangle", node.storage_bits())
+        return ledger
+
+    def mean_storage_bits(self) -> float:
+        """Average per-node stored bits."""
+        total = sum(n.storage_bits() for n in self.nodes.values())
+        return total / len(self.nodes)

@@ -1,0 +1,94 @@
+"""PBFT protocol messages and their wire sizes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.hashing import Digest
+
+KIND_REQUEST = "pbft.request"
+KIND_PRE_PREPARE = "pbft.pre_prepare"
+KIND_PREPARE = "pbft.prepare"
+KIND_COMMIT = "pbft.commit"
+KIND_VIEW_CHANGE = "pbft.view_change"
+KIND_NEW_VIEW = "pbft.new_view"
+
+#: Small-message overhead: view (32) + sequence (64) + digest (256) +
+#: replica id (32) + signature (256).
+CONTROL_BITS = 32 + 64 + 256 + 32 + 256
+
+
+@dataclass(frozen=True)
+class Request:
+    """A client request: one IoT data block to be ordered."""
+
+    client: int
+    payload_seed: bytes
+    payload_bits: int
+    timestamp: float
+
+    @property
+    def size_bits(self) -> int:
+        """Payload plus client id + timestamp + signature."""
+        return self.payload_bits + 32 + 32 + 256
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's ordering proposal; carries the full request."""
+
+    view: int
+    sequence: int
+    digest: Digest
+    request: Request
+
+    @property
+    def size_bits(self) -> int:
+        """Control fields plus the embedded request."""
+        return CONTROL_BITS + self.request.size_bits
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Replica's agreement on (view, sequence, digest)."""
+
+    view: int
+    sequence: int
+    digest: Digest
+    replica: int
+
+    size_bits: int = CONTROL_BITS
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Replica's commit vote for (view, sequence, digest)."""
+
+    view: int
+    sequence: int
+    digest: Digest
+    replica: int
+
+    size_bits: int = CONTROL_BITS
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """Replica's request to move to ``new_view`` after primary silence."""
+
+    new_view: int
+    last_sequence: int
+    replica: int
+
+    size_bits: int = CONTROL_BITS
+
+
+@dataclass(frozen=True)
+class NewView:
+    """New primary's announcement that ``view`` is active."""
+
+    view: int
+    last_sequence: int
+
+    size_bits: int = CONTROL_BITS

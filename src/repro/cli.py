@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Run as ``python -m repro <command>``:
+
+* ``simulate``  — run the slot workload and print a deployment summary;
+* ``verify``    — run one PoP verification and print the outcome;
+* ``fig7`` / ``fig8`` / ``fig9`` — regenerate a paper figure as a text
+  table (and ASCII chart);
+* ``headline``  — print the abstract's measured ratios.
+
+Examples::
+
+    python -m repro simulate --nodes 25 --slots 40 --gamma 8
+    python -m repro verify --nodes 16 --slots 20 --gamma 4 --target-slot 2
+    python -m repro fig7 --body-mb 0.5 --quick
+    python -m repro fig9 --panel d --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.experiments.common import ExperimentScale
+from repro.metrics.charts import render_chart
+from repro.metrics.units import bits_to_mb, bits_to_mbit
+from repro.net.topology import sequential_geometric_topology
+from repro.sim.rng import RandomStreams
+
+
+def _scale_from_args(args) -> ExperimentScale:
+    if args.quick:
+        return ExperimentScale.quick()
+    return ExperimentScale.paper()
+
+
+def _build_deployment(args) -> TwoLayerDagNetwork:
+    streams = RandomStreams(args.seed)
+    topology = sequential_geometric_topology(
+        node_count=args.nodes, streams=streams
+    )
+    config = ProtocolConfig.paper_defaults(gamma=args.gamma, body_mb=args.body_mb)
+    return TwoLayerDagNetwork(config=config, topology=topology, seed=args.seed)
+
+
+def cmd_simulate(args) -> int:
+    """Run the slot workload; print storage/communication summary."""
+    deployment = _build_deployment(args)
+    workload = SlotSimulation(
+        deployment, generation_period=1, validate=args.validate
+    )
+    workload.run(args.slots)
+    workload.run_until_quiet()
+    nodes = deployment.node_ids
+    print(f"nodes={len(nodes)} slots={args.slots} gamma={args.gamma} "
+          f"C={args.body_mb} MB")
+    print(f"blocks generated: {workload.total_blocks()}")
+    if args.validate:
+        print(f"validations: {len(workload.validations)} "
+              f"(success rate {workload.success_rate():.3f})")
+    print(f"mean storage/node: {bits_to_mb(deployment.mean_storage_bits()):.2f} MB")
+    print(f"mean transmit/node: "
+          f"{bits_to_mbit(deployment.traffic.mean_tx_bits(nodes)):.3f} Mbit")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """Run one PoP verification against a grown DAG."""
+    deployment = _build_deployment(args)
+    workload = SlotSimulation(deployment, generation_period=1)
+    workload.run(args.slots)
+    targets = workload.blocks_by_slot.get(args.target_slot, [])
+    if not targets:
+        print(f"no blocks generated in slot {args.target_slot}", file=sys.stderr)
+        return 1
+    target = targets[0]
+    validator_id = next(n for n in deployment.node_ids if n != target.origin)
+    process = deployment.node(validator_id).verify_block(target.origin, target)
+    deployment.sim.run()
+    outcome = process.value
+    print(f"block {target} verified by node {validator_id}: "
+          f"{'SUCCESS' if outcome.success else f'FAILURE ({outcome.error})'}")
+    print(f"consensus set ({len(outcome.consensus_set)} nodes): "
+          f"{sorted(outcome.consensus_set)}")
+    print(f"path length {len(outcome.path)}, messages {outcome.message_total}, "
+          f"cache hits {outcome.tps_steps}, rollbacks {outcome.rollbacks}")
+    return 0 if outcome.success else 2
+
+
+def cmd_fig7(args) -> int:
+    """Regenerate a Fig. 7 storage panel."""
+    from repro.experiments.fig7_storage import run_fig7
+
+    result = run_fig7(args.body_mb, _scale_from_args(args))
+    print(f"Fig. 7 storage overhead, C = {args.body_mb} MB (per-node MB)\n")
+    print(result.to_table())
+    print()
+    print(render_chart(result.sample_slots, result.series_mb,
+                       log_y=True, y_label="storage MB"))
+    return 0
+
+
+def cmd_fig8(args) -> int:
+    """Regenerate the Fig. 8 communication panels."""
+    from repro.experiments.fig8_comm import run_fig8
+
+    result = run_fig8(_scale_from_args(args))
+    for panel, title in (("a", "overall"), ("b", "DAG construction"),
+                         ("c", "consensus")):
+        print(f"\nFig. 8({panel}) {title} (per-node Mbit)")
+        print(result.to_table(panel))
+    print()
+    print(render_chart(result.sample_slots, result.overall_mbit,
+                       log_y=True, y_label="communication Mbit"))
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    """Regenerate one Fig. 9 consensus-time panel."""
+    from repro.experiments.fig9_consensus import PAPER_PANELS, run_fig9
+
+    spec = PAPER_PANELS[args.panel]
+    scale = _scale_from_args(args)
+    gamma = max(2, round(spec["gamma"] * scale.node_count / 50))
+    malicious = sorted({
+        round(m * scale.node_count / 50) for m in spec["malicious_counts"]
+    })
+    malicious = [m for m in malicious if m <= gamma]
+    result = run_fig9(gamma, malicious, scale=scale)
+    print(f"Fig. 9({args.panel}) consensus failure probability, gamma={gamma}\n")
+    print(result.to_table())
+    for m in malicious:
+        print(f"consensus slot with {m} malicious: {result.consensus_slot(m)}")
+    return 0
+
+
+def cmd_headline(args) -> int:
+    """Print the measured headline ratios."""
+    from repro.experiments.headline import run_headline
+
+    result = run_headline(_scale_from_args(args))
+    print(result.summary())
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Generate the full markdown reproduction report."""
+    from repro.experiments.report import generate_report
+
+    report = generate_report(
+        _scale_from_args(args),
+        fig7_bodies=[0.5] if args.quick else None,
+        fig9_panels=["a", "d"] if args.quick else None,
+    )
+    markdown = report.to_markdown()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"report written to {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="2LDAG reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--seed", type=int, default=0, help="master seed")
+        p.add_argument("--nodes", type=int, default=25, help="|V|")
+        p.add_argument("--gamma", type=int, default=8, help="tolerable malicious")
+        p.add_argument("--body-mb", type=float, default=0.5, help="C in MB")
+
+    p = sub.add_parser("simulate", help="run the slot workload")
+    common(p)
+    p.add_argument("--slots", type=int, default=40)
+    p.add_argument("--validate", action="store_true",
+                   help="run generation-time PoP validations")
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("verify", help="verify one block via PoP")
+    common(p)
+    p.add_argument("--slots", type=int, default=30)
+    p.add_argument("--target-slot", type=int, default=0)
+    p.set_defaults(fn=cmd_verify)
+
+    for name, fn in (("fig7", cmd_fig7), ("fig8", cmd_fig8),
+                     ("fig9", cmd_fig9), ("headline", cmd_headline),
+                     ("report", cmd_report)):
+        p = sub.add_parser(name, help=fn.__doc__)
+        p.add_argument("--quick", action="store_true",
+                       help="reduced scale (default is full paper scale)")
+        if name == "fig7":
+            p.add_argument("--body-mb", type=float, default=0.5)
+        if name == "fig9":
+            p.add_argument("--panel", choices="abcd", default="a")
+        if name == "report":
+            p.add_argument("--output", default=None,
+                           help="write the markdown to this file")
+        p.set_defaults(fn=fn)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Deterministic byte encoding for hashable/signable structures.
+
+Hashes and signatures must be computed over a canonical byte string.
+This tiny codec provides unambiguous (length-prefixed, order-preserving)
+framing for the field types block headers use.  It is intentionally not
+a general serialization library — only what the protocol needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Tuple
+
+
+def encode_u32(value: int) -> bytes:
+    """Unsigned 32-bit big-endian; validates range."""
+    if not 0 <= value < 2 ** 32:
+        raise ValueError(f"u32 out of range: {value}")
+    return value.to_bytes(4, "big")
+
+
+def encode_u64(value: int) -> bytes:
+    """Unsigned 64-bit big-endian; validates range."""
+    if not 0 <= value < 2 ** 64:
+        raise ValueError(f"u64 out of range: {value}")
+    return value.to_bytes(8, "big")
+
+
+def encode_bytes(value: bytes) -> bytes:
+    """Length-prefixed raw bytes."""
+    return encode_u32(len(value)) + value
+
+
+def encode_time(value: float) -> bytes:
+    """Simulated timestamps, encoded as micro-slot integers.
+
+    Times in the reproduction are slot numbers (possibly fractional due
+    to intra-slot latency); scaling by 10^6 and rounding gives a stable
+    integer encoding.
+    """
+    scaled = int(round(value * 1_000_000))
+    if scaled < 0:
+        raise ValueError(f"negative time: {value}")
+    return encode_u64(scaled)
+
+
+def encode_digest_map(digests: Mapping[int, bytes]) -> bytes:
+    """Encode a node-id -> digest-bytes map in ascending node order.
+
+    Ascending order makes the encoding canonical regardless of the
+    insertion order of ``A_i`` updates.
+    """
+    parts: List[bytes] = [encode_u32(len(digests))]
+    for node_id in sorted(digests):
+        parts.append(encode_u32(node_id))
+        parts.append(encode_bytes(digests[node_id]))
+    return b"".join(parts)
+
+
+def encode_fields(fields: Iterable[Tuple[str, bytes]]) -> bytes:
+    """Concatenate named pre-encoded fields with name framing.
+
+    Field names participate in the encoding so that two headers with
+    coincidentally identical field bytes in different roles can never
+    collide.
+    """
+    parts: List[bytes] = []
+    for name, data in fields:
+        name_bytes = name.encode("ascii")
+        parts.append(encode_u32(len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(encode_bytes(data))
+    return b"".join(parts)

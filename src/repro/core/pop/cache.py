@@ -1,0 +1,82 @@
+"""The trusted header cache ``H_i`` (§IV-B).
+
+After a successful verification, the validator keeps every header on
+the path.  Later validations extend paths through cached headers for
+free (TPS), avoiding repeat REQ_CHILD round trips — "one may need to
+obtain D1 and E2 again when it verifies block C1; this wastes both
+computation and communication resources".
+
+The cache maintains a reference index (parent digest -> cached child
+headers) so TPS lookups are O(1) per step rather than scanning ``H_i``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.block import BlockHeader, BlockId
+from repro.core.config import ProtocolConfig
+from repro.crypto.hashing import Digest
+
+
+class HeaderCache:
+    """``H_i``: verified headers with a child-lookup index."""
+
+    def __init__(self, hash_bits: int = 256) -> None:
+        self.hash_bits = hash_bits
+        self._headers: Dict[BlockId, BlockHeader] = {}
+        self._children_of_digest: Dict[bytes, List[BlockId]] = {}
+
+    def add(self, header: BlockHeader) -> bool:
+        """Insert a header; returns ``False`` if it was already cached."""
+        block_id = header.block_id
+        if block_id in self._headers:
+            return False
+        self._headers[block_id] = header
+        for parent_digest in header.digests.values():
+            self._children_of_digest.setdefault(parent_digest.value, []).append(block_id)
+        return True
+
+    def __contains__(self, block_id: BlockId) -> bool:
+        return block_id in self._headers
+
+    def __len__(self) -> int:
+        return len(self._headers)
+
+    def __iter__(self) -> Iterator[BlockHeader]:
+        return iter(self._headers.values())
+
+    def get(self, block_id: BlockId) -> Optional[BlockHeader]:
+        """Cached header for ``block_id``, if present."""
+        return self._headers.get(block_id)
+
+    def find_child(
+        self, digest: Digest, skip_ids=None, exclude_origins=None
+    ) -> Optional[BlockHeader]:
+        """A cached header whose Δ contains ``digest`` (Eq. 9).
+
+        When several cached headers reference the digest, the oldest
+        (smallest time, then id) is returned — mirroring the
+        responder's Eq. (11) rule so TPS and live queries agree.
+        ``skip_ids`` excludes blocks the caller must not revisit (path
+        members and rolled-back dead ends); ``exclude_origins`` filters
+        by authoring node — TPS passes the current consensus set so
+        free extensions always enlarge ``R_i`` instead of wandering
+        down the validator's own chain.
+        """
+        child_ids = self._children_of_digest.get(digest.value)
+        if not child_ids:
+            return None
+        eligible = [
+            b for b in child_ids
+            if (not skip_ids or b not in skip_ids)
+            and (not exclude_origins or b.origin not in exclude_origins)
+        ]
+        if not eligible:
+            return None
+        best = min(eligible, key=lambda b: (self._headers[b].time, b))
+        return self._headers[best]
+
+    def size_bits(self, config: ProtocolConfig) -> int:
+        """Storage occupied by the cache (bounded by Proposition 2)."""
+        return sum(h.size_bits(config) for h in self._headers.values())

@@ -1,0 +1,68 @@
+"""PoP wire messages.
+
+Three message kinds appear in §IV-C (plus the initial block retrieval):
+
+* ``REQ_CHILD`` — carries ``H(b^h_{v,t})``, the digest whose child is
+  sought; wire size is one hash (``f_H``).
+* ``RPY_CHILD`` — carries a block header; wire size is the header size
+  (``f_c + f_H·|Δ|``).
+* block fetch/data — the validator's initial retrieval of the full
+  block ``b_{j,t}`` from the verifier (header + ``C``-bit body).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.block import BlockHeader, BlockId
+from repro.crypto.hashing import Digest
+
+KIND_REQ_CHILD = "req_child"
+KIND_RPY_CHILD = "rpy_child"
+KIND_BLOCK_FETCH = "block_fetch"
+KIND_BLOCK_DATA = "block_data"
+
+
+@dataclass(frozen=True)
+class ReqChild:
+    """Payload of ``REQ_CHILD``: the digest of the verifying block.
+
+    ``verifying_origin`` names the node whose block the digest belongs
+    to; the responder does not need it (it indexes by digest), but it
+    lets honest responders sanity-check and appears in traces.
+    """
+
+    digest: Digest
+    verifying_origin: int
+
+
+@dataclass(frozen=True)
+class RpyChild:
+    """Payload of ``RPY_CHILD``: the oldest child header, if any.
+
+    ``header`` is ``None`` when the responder has no block referencing
+    the requested digest — Algorithm 3 treats that the same as an
+    invalid reply (the responder is skipped).
+    """
+
+    header: Optional[BlockHeader]
+
+
+@dataclass(frozen=True)
+class BlockFetch:
+    """Payload of the initial block retrieval: which block is wanted.
+
+    ``block_id`` of ``None`` means "your latest block" — used by
+    auditors that just want to verify the newest sample of a device.
+
+    ``header_only`` asks the verifier for just the block header.  The
+    paper's Fig. 8 accounting counts *headers* for consensus traffic
+    ("2LDAG ... needs to transmit block headers for consensus"); the
+    ``C``-bit body is pulled separately only when the consumer actually
+    reads the data, so header-only verification is the common mode in
+    the slot workload.
+    """
+
+    block_id: Optional[BlockId]
+    header_only: bool = False

@@ -1,0 +1,36 @@
+"""The responder role — Algorithm 4.
+
+On ``REQ_CHILD(H(b^h_v))`` a node searches its own storage ``S_{j'}``
+for blocks whose header contains the requested digest (the child set
+``C_{j'}(b_v)`` of Eq. 10) and answers with the header of the *oldest*
+one (Eq. 11).  Oldest matters: when the requesting node's rate is low
+relative to the responder's, several of the responder's blocks embed
+the same digest (Fig. 3: B1's digest appears in both A2 and A3), and
+replying with a newer one would lengthen micro-loops (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.block import BlockHeader, DataBlock
+from repro.core.pop.messages import ReqChild, RpyChild
+from repro.core.storage import BlockStore
+from repro.crypto.hashing import Digest
+
+
+def find_oldest_child(store: BlockStore, digest: Digest) -> Optional[DataBlock]:
+    """Eq. (10)-(11): the oldest own block referencing ``digest``."""
+    return store.oldest_child_of(digest)
+
+
+def serve_req_child(store: BlockStore, request: ReqChild) -> RpyChild:
+    """Algorithm 4: build the reply for a ``REQ_CHILD`` payload.
+
+    Returns a reply with ``header=None`` when no own block references
+    the digest; the transport still sends it (a real node answers "not
+    found" rather than staying silent — silence is the *malicious*
+    behaviour, §IV-D-1).
+    """
+    child = find_oldest_child(store, request.digest)
+    return RpyChild(header=None if child is None else child.header)

@@ -1,0 +1,449 @@
+"""The PoP validator — Algorithm 3.
+
+The validator retrieves the target block from the verifier, checks its
+Merkle root, then grows a descendant path through the logical DAG:
+first for free via the header cache (TPS), then by querying neighbours
+of the current verifying node (chosen by WPS) with ``REQ_CHILD``.
+Invalid or missing replies cause the responder to be skipped; when all
+neighbours of the verifying node are exhausted, the validator *rolls
+back* one path element and permanently sidelines the dead-end node for
+this run.  Consensus is reached when the path has traversed γ+1
+distinct physical nodes; failure is reported when the path rolls back
+past the verifier itself.
+
+Implementation notes (deviations documented):
+
+* ``R_i`` is maintained as the derived set of origins of blocks on
+  ``P_i``.  The paper mutates ``R_i`` separately; deriving it keeps the
+  two consistent during rollbacks through micro-loops, where one origin
+  can own several path blocks (popping one block must not evict the
+  origin while another of its blocks remains on the path).
+* Reply validation goes beyond line 21's digest comparison: the header
+  must be authored by the queried responder, carry a valid signature
+  (Eq. 6) and satisfy the nonce puzzle (Eq. 5) — the checks §IV-D
+  relies on against man-in-the-middle corruption.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.block import BlockHeader, BlockId, DataBlock
+from repro.core.config import ProtocolConfig
+from repro.core.pop.cache import HeaderCache
+from repro.core.pop.messages import (
+    KIND_BLOCK_FETCH,
+    KIND_REQ_CHILD,
+    BlockFetch,
+    ReqChild,
+    RpyChild,
+)
+from repro.core.pop.tps import trust_path_selection
+from repro.core.pop.wps import weighted_path_selection
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.puzzle import NoncePuzzle
+from repro.net.topology import Topology
+from repro.net.transport import NodeInterface
+
+#: Wire size of a BLOCK_FETCH request (origin u32 + index u32).
+BLOCK_FETCH_BITS = 64
+
+
+@dataclass
+class PopOutcome:
+    """Result and cost accounting of one verification run.
+
+    Attributes
+    ----------
+    success:
+        Whether consensus (|R_i| ≥ γ+1) was reached.
+    error:
+        Failure reason when ``success`` is ``False``.
+    consensus_set:
+        ``R_i`` — distinct physical nodes on the final path.
+    path:
+        ``P_i`` — headers from the target block to the path tip.
+    requests_sent / replies_received / timeouts / invalid_replies:
+        PoP message statistics (Props. 4 & 6 bound these).
+    tps_steps:
+        Path extensions served from the header cache (free).
+    rollbacks:
+        Dead-end recoveries performed (§IV-D-1, Fig. 5).
+    started_at / finished_at:
+        Simulated times bracketing the run.
+    """
+
+    success: bool = False
+    error: Optional[str] = None
+    consensus_set: Set[int] = field(default_factory=set)
+    path: List[BlockHeader] = field(default_factory=list)
+    requests_sent: int = 0
+    replies_received: int = 0
+    timeouts: int = 0
+    invalid_replies: int = 0
+    tps_steps: int = 0
+    rollbacks: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def headers_retrieved(self) -> int:
+        """Headers fetched over the network (excludes TPS cache hits)."""
+        return self.replies_received - self.invalid_replies
+
+    @property
+    def message_total(self) -> int:
+        """Messages the validator emitted and received (Prop. 4/6 metric)."""
+        return self.requests_sent + self.replies_received
+
+
+class PopValidator:
+    """One verification run of Algorithm 3, as a simulation process.
+
+    Usage::
+
+        validator = PopValidator(iface, cache, topology, registry, config)
+        process = sim.process(validator.run(verifier_id, block_id))
+        sim.run()
+        outcome = process.value
+
+    Parameters
+    ----------
+    interface:
+        The validator node's network attachment.
+    cache:
+        The validator's ``H_i`` (shared with its other runs).
+    topology:
+        Global knowledge ``G(V, E)``.
+    registry:
+        Public keys of all registered nodes.
+    config:
+        Protocol constants (γ, τ, field sizes).
+    rng:
+        WPS tie-break randomness (deterministic when omitted).
+    use_tps / use_wps:
+        Ablation switches: disable the cache (always query) or replace
+        WPS with uniform random neighbour choice.
+    hop_aware:
+        §VII future work: break WPS ties by physical hop distance from
+        the validator, preferring responders whose headers travel fewer
+        hops (reduces communication bytes, not message counts).
+    blacklist:
+        §IV-D-6 penalty mechanism: node ids skipped as responders
+        (typically the owning node's ``blacklist`` set, shared by
+        reference so bans apply immediately).
+    on_no_reply:
+        Callback invoked with a responder id on timeout — the owning
+        node passes :meth:`IoTNode.record_no_reply` so repeated
+        offenders get blacklisted.
+    """
+
+    def __init__(
+        self,
+        interface: NodeInterface,
+        cache: HeaderCache,
+        topology: Topology,
+        registry: KeyRegistry,
+        config: ProtocolConfig,
+        rng: Optional[random.Random] = None,
+        use_tps: bool = True,
+        use_wps: bool = True,
+        hop_aware: bool = False,
+        blacklist: Optional[Set[int]] = None,
+        on_no_reply=None,
+    ) -> None:
+        self.interface = interface
+        self.cache = cache
+        self.topology = topology
+        self.registry = registry
+        self.config = config
+        self.rng = rng
+        self.use_tps = use_tps
+        self.use_wps = use_wps
+        self.hop_aware = hop_aware
+        self.blacklist = blacklist if blacklist is not None else set()
+        self.on_no_reply = on_no_reply
+        self._puzzle = NoncePuzzle(config.puzzle_difficulty_bits, config.hash_bits)
+
+    def _choose_candidate(self, consensus_set: Set[int], candidates: Set[int]) -> int:
+        """Next responder: WPS, optionally hop-distance tie-broken."""
+        if not self.use_wps:
+            if self.rng is not None:
+                return self.rng.choice(sorted(candidates))
+            return sorted(candidates)[0]
+        if self.hop_aware:
+            from repro.core.pop.wps import closed_neighborhood_weight
+
+            routing = self.interface.network.routing
+            me = self.interface.node_id
+            return min(
+                sorted(candidates),
+                key=lambda c: (
+                    closed_neighborhood_weight(c, consensus_set, self.topology),
+                    routing.hop_count(me, c),
+                    c,
+                ),
+            )
+        return weighted_path_selection(
+            consensus_set, candidates, self.topology, self.rng
+        )
+
+    # -- public entry point ---------------------------------------------------
+    def run(
+        self,
+        verifier: int,
+        block_id: Optional[BlockId] = None,
+        fetch_body: bool = True,
+    ) -> Generator:
+        """Verify ``block_id`` stored at ``verifier`` (its latest if None).
+
+        With ``fetch_body=False`` only the header travels and the
+        Merkle-root check is skipped — the mode the paper's Fig. 8
+        accounting uses for routine generation-time verification (body
+        integrity is still covered: any body tamper changes the Root
+        field and thus the header digest the path vouches for).
+
+        A generator to be driven by :meth:`repro.sim.Simulator.process`;
+        its return value is a :class:`PopOutcome`.
+        """
+        sim = self.interface.network.sim
+        outcome = PopOutcome(started_at=sim.now)
+
+        # --- Initialization: retrieve the block and check its root (lines 2-6).
+        header = yield from self._fetch_block(verifier, block_id, fetch_body, outcome)
+        if header is None:
+            outcome.finished_at = sim.now
+            return outcome
+        if not self._header_authentic(header, expected_origin=verifier):
+            outcome.error = "verifier-header-invalid"
+            outcome.finished_at = sim.now
+            return outcome
+
+        path: List[BlockHeader] = [header]
+        verifying = header
+        # Monotone per-run state guaranteeing termination:
+        # * dead_ends — blocks rolled back past; never re-adopted (the
+        #   paper's V' removal, but scoped to *blocks*: Algorithm 3
+        #   resets V' = V at every outer iteration (line 14), so a node
+        #   that dead-ended at its chain tip stays usable at its
+        #   earlier, mid-DAG blocks);
+        # * reply_memo — (responder, digest) pairs already asked this
+        #   run; responders answer deterministically (the oldest child,
+        #   Eq. 11), so re-asking after a rollback would waste the
+        #   round trip the memo now saves.
+        dead_ends: Set[BlockId] = set()
+        reply_memo: Dict[Tuple[int, bytes], Optional[BlockHeader]] = {}
+        quorum = self.config.consensus_quorum()
+
+        # --- Construct path (lines 8-38).
+        while True:
+            consensus_set = {h.origin for h in path}
+            if self.use_tps:
+                result = trust_path_selection(
+                    self.cache, consensus_set, path, verifying,
+                    self.config.hash_bits, skip_ids=dead_ends,
+                )
+                outcome.tps_steps += result.steps
+                verifying = result.verifying_header
+                consensus_set = {h.origin for h in path}
+            if len(consensus_set) >= quorum:
+                break
+
+            accepted = yield from self._extend_live(
+                verifying, consensus_set, dead_ends, reply_memo, outcome
+            )
+            if accepted is not None:
+                path.append(accepted)
+                verifying = accepted
+                continue
+
+            # Rollback (lines 26-34): this verifying block is a dead end.
+            outcome.rollbacks += 1
+            dead_ends.add(verifying.block_id)
+            path.pop()
+            if not path:
+                outcome.error = "exhausted"
+                outcome.consensus_set = set()
+                outcome.finished_at = sim.now
+                return outcome
+            verifying = path[-1]
+
+        # --- Success: persist the path into H_i (line 39).
+        for header in path:
+            self.cache.add(header)
+        outcome.success = True
+        outcome.consensus_set = {h.origin for h in path}
+        outcome.path = path
+        outcome.finished_at = sim.now
+        return outcome
+
+    # -- steps ------------------------------------------------------------------
+    def _fetch_block(
+        self,
+        verifier: int,
+        block_id: Optional[BlockId],
+        fetch_body: bool,
+        outcome: PopOutcome,
+    ) -> Generator:
+        """Request the target block (or header) from the verifier.
+
+        Returns the verified-ready header, applying the Merkle-root
+        check (Algorithm 3 line 3) when the body was retrieved.
+        """
+        waiter = self.interface.request(
+            verifier,
+            KIND_BLOCK_FETCH,
+            BlockFetch(block_id=block_id, header_only=not fetch_body),
+            size_bits=BLOCK_FETCH_BITS,
+            timeout=self.config.reply_timeout,
+        )
+        outcome.requests_sent += 1
+        reply = yield waiter
+        if reply is None:
+            outcome.timeouts += 1
+            outcome.error = "verifier-timeout"
+            return None
+        outcome.replies_received += 1
+        payload = reply.payload
+        if fetch_body:
+            if not isinstance(payload, DataBlock):
+                outcome.invalid_replies += 1
+                outcome.error = "verifier-bad-payload"
+                return None
+            if not payload.verify_body_root():
+                outcome.error = "merkle-root-mismatch"
+                return None
+            return payload.header
+        if not isinstance(payload, BlockHeader):
+            outcome.invalid_replies += 1
+            outcome.error = "verifier-bad-payload"
+            return None
+        return payload
+
+    def _extend_live(
+        self,
+        verifying: BlockHeader,
+        consensus_set: Set[int],
+        dead_ends: Set[BlockId],
+        reply_memo: Dict[Tuple[int, bytes], Optional[BlockHeader]],
+        outcome: PopOutcome,
+    ) -> Generator:
+        """Lines 13-25: query neighbours of the verifying node via WPS.
+
+        Returns the accepted child header, or ``None`` when every
+        candidate neighbour failed (triggering rollback).
+        """
+        verifying_digest = verifying.digest(self.config.hash_bits)
+        candidates = {
+            n for n in self.topology.neighbors(verifying.origin)
+            if n != self.interface.node_id and n not in self.blacklist
+        }
+        # The validator can serve from its own store for free: if it is a
+        # neighbour of the verifying node, its own headers are already in
+        # the cache (TPS handled them), so exclude self from candidates.
+        #
+        # The verifying node itself is kept as a *last-resort* candidate:
+        # its next own block is always a child (the chain edge
+        # b_{v,t-1} -> b_{v,t} of the logical DAG), which lets the walk
+        # traverse micro-loops even when digest races left no neighbour
+        # with a child of this particular block.  It contributes no new
+        # origin to R_i, so it is only asked once WPS's candidates fail.
+        self_candidate = (
+            verifying.origin if verifying.origin != self.interface.node_id else None
+        )
+        while candidates or self_candidate is not None:
+            if not candidates:
+                chosen = self_candidate
+                self_candidate = None
+            else:
+                chosen = self._choose_candidate(consensus_set, candidates)
+                candidates.discard(chosen)
+            header = yield from self._ask_for_child(
+                chosen, verifying, verifying_digest, dead_ends, reply_memo, outcome
+            )
+            if header is not None:
+                return header
+        return None
+
+    def _ask_for_child(
+        self,
+        responder: int,
+        verifying: BlockHeader,
+        verifying_digest,
+        dead_ends: Set[BlockId],
+        reply_memo: Dict[Tuple[int, bytes], Optional[BlockHeader]],
+        outcome: PopOutcome,
+    ) -> Generator:
+        """One REQ_CHILD/RPY_CHILD exchange; returns the accepted header.
+
+        Responders answer deterministically (oldest child, Eq. 11), so
+        the reply for a (responder, digest) pair is memoised within the
+        run: rollback re-exploration costs no repeat round trips.
+        """
+        memo_key = (responder, verifying_digest.value)
+        if memo_key in reply_memo:
+            header = reply_memo[memo_key]
+            if header is None or header.block_id in dead_ends:
+                return None
+            return header
+
+        waiter = self.interface.request(
+            responder,
+            KIND_REQ_CHILD,
+            ReqChild(digest=verifying_digest, verifying_origin=verifying.origin),
+            size_bits=self.config.hash_bits,
+            timeout=self.config.reply_timeout,
+        )
+        outcome.requests_sent += 1
+        reply = yield waiter
+        if reply is None:
+            outcome.timeouts += 1
+            reply_memo[memo_key] = None
+            if self.on_no_reply is not None:
+                self.on_no_reply(responder)
+            return None
+        outcome.replies_received += 1
+        header = self._validate_reply(reply.payload, responder, verifying, verifying_digest)
+        if header is None:
+            outcome.invalid_replies += 1
+            reply_memo[memo_key] = None
+            return None
+        reply_memo[memo_key] = header
+        if header.block_id in dead_ends:
+            outcome.invalid_replies += 1
+            return None
+        return header
+
+    def _validate_reply(
+        self,
+        payload,
+        responder: int,
+        verifying: BlockHeader,
+        verifying_digest,
+    ) -> Optional[BlockHeader]:
+        """Line 21 plus authenticity checks; ``None`` rejects the reply."""
+        if not isinstance(payload, RpyChild) or payload.header is None:
+            return None
+        header = payload.header
+        if header.origin != responder:
+            return None
+        # GetDigest(b^h_{j',t*}, v): the digest the child stored for node v.
+        recorded = header.digest_from(verifying.origin)
+        if recorded is None or recorded != verifying_digest:
+            return None
+        if not self._header_authentic(header, expected_origin=responder):
+            return None
+        return header
+
+    def _header_authentic(self, header: BlockHeader, expected_origin: int) -> bool:
+        """Signature (Eq. 6) + nonce puzzle (Eq. 5) + identity checks."""
+        if header.origin != expected_origin:
+            return False
+        if not self.registry.is_registered(header.origin):
+            return False
+        public = self.registry.public_key(header.origin)
+        if not header.verify_signature(public):
+            return False
+        return header.verify_nonce(self._puzzle)

@@ -1,0 +1,85 @@
+"""Weighted Path Selection — Algorithm 1.
+
+When the validator must extend the path past verifying block ``b_v``,
+it chooses which neighbour ``j' ∈ N(v)`` to ask for a child.  Asking a
+node already in ``R_i`` cannot enlarge the consensus set, so WPS scores
+each candidate by Eq. (7):
+
+    w_v = |R_i ∩ (N(v) ∪ {v})| / (|N(v)| + 1)
+
+— the fraction of the candidate's *closed neighbourhood* already
+counted — and picks the minimum.  Ties are broken in favour of nodes
+not yet in ``R_i``, then uniformly at random (we use a seeded stream so
+runs are reproducible).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import AbstractSet, Iterable, List, Optional, Sequence
+
+from repro.net.topology import Topology
+
+
+def closed_neighborhood_weight(
+    candidate: int, consensus_set: AbstractSet[int], topology: Topology
+) -> float:
+    """Eq. (7): fraction of ``candidate``'s closed neighbourhood in ``R_i``."""
+    closed = set(topology.neighbors(candidate)) | {candidate}
+    return len(consensus_set & closed) / len(closed)
+
+
+def weighted_path_selection(
+    consensus_set: AbstractSet[int],
+    candidates: Iterable[int],
+    topology: Topology,
+    rng: Optional[random.Random] = None,
+) -> int:
+    """Algorithm 1: pick the next responder from ``candidates``.
+
+    Parameters
+    ----------
+    consensus_set:
+        ``R_i`` — physical nodes already on the path.
+    candidates:
+        ``N'`` — remaining neighbours of the verifying node.
+    topology:
+        Shared knowledge ``G(V, E)`` (every node knows it, §III-A).
+    rng:
+        Tie-break randomness; deterministic (smallest id) when omitted.
+
+    Returns the chosen node id.  Raises ``ValueError`` on an empty
+    candidate set — Algorithm 3 never calls WPS with one.
+    """
+    pool: List[int] = sorted(set(candidates))
+    if not pool:
+        raise ValueError("WPS called with no candidates")
+
+    weights = {c: closed_neighborhood_weight(c, consensus_set, topology) for c in pool}
+    minimum = min(weights.values())
+    tied = [c for c in pool if weights[c] == minimum]
+
+    if len(tied) == 1:
+        return tied[0]
+
+    # Lines 8-13: prefer candidates outside R_i when the tie is mixed.
+    outside = [c for c in tied if c not in consensus_set]
+    if outside and len(outside) != len(tied):
+        tied = outside
+    if rng is None:
+        return tied[0]
+    return rng.choice(tied)
+
+
+def rank_candidates(
+    consensus_set: AbstractSet[int], candidates: Sequence[int], topology: Topology
+) -> List[int]:
+    """All candidates ordered as WPS would prefer them (diagnostics)."""
+    return sorted(
+        set(candidates),
+        key=lambda c: (
+            closed_neighborhood_weight(c, consensus_set, topology),
+            c in consensus_set,
+            c,
+        ),
+    )

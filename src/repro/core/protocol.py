@@ -1,0 +1,336 @@
+"""Network orchestration and the §VI slot-driven simulation.
+
+:class:`TwoLayerDagNetwork` assembles the full stack — simulator,
+topology, transport, key registry, logical-DAG oracle and one
+:class:`~repro.core.node.IoTNode` per topology node (honest or
+malicious via behaviour injection).
+
+:class:`SlotSimulation` drives the paper's evaluation workload: time is
+divided into slots; each node generates at most one block per slot
+(rate 1 block per ``period`` slots); from slot ``|V|`` onward, a node
+that generates a block also validates one uniformly random block that
+is at least ``|V|`` slots old ("when a node generates a block, it must
+verify another block that is generated in the past using PoP").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.block import BlockId
+from repro.core.config import ProtocolConfig
+from repro.core.dag import LogicalDag
+from repro.core.node import IoTNode, NodeBehavior
+from repro.core.pop.validator import PopOutcome
+from repro.crypto.keys import KeyRegistry
+from repro.metrics.collector import StorageLedger, TrafficLedger
+from repro.net.topology import Topology, sequential_geometric_topology
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import Tracer
+
+#: Traffic categories used by the Fig. 8 breakdown.
+CATEGORY_DAG = "dag"        # digest pushes (DAG construction)
+CATEGORY_POP = "pop"        # REQ_CHILD / RPY_CHILD / block fetch (consensus)
+
+
+def _pop_category(kind: str) -> str:
+    if kind == "digest":
+        return CATEGORY_DAG
+    return CATEGORY_POP
+
+
+class TwoLayerDagNetwork:
+    """A fully wired 2LDAG deployment inside one simulator.
+
+    Parameters
+    ----------
+    config:
+        Protocol constants; :meth:`ProtocolConfig.paper_defaults` when
+        omitted.
+    topology:
+        Physical graph; the paper's 50-node sequential geometric
+        placement when omitted.
+    seed:
+        Master seed for every random stream (topology, jitter, WPS
+        tie-breaks, workload choices).
+    behaviors:
+        Node id -> :class:`NodeBehavior` for non-honest nodes.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProtocolConfig] = None,
+        topology: Optional[Topology] = None,
+        seed: int = 0,
+        behaviors: Optional[Mapping[int, NodeBehavior]] = None,
+        tracer: Optional[Tracer] = None,
+        per_hop_latency: float = 0.001,
+    ) -> None:
+        self.config = config if config is not None else ProtocolConfig.paper_defaults()
+        self.streams = RandomStreams(seed)
+        self.topology = (
+            topology
+            if topology is not None
+            else sequential_geometric_topology(streams=self.streams)
+        )
+        self.sim = Simulator()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.traffic = TrafficLedger()
+        self.network = Network(
+            self.sim,
+            self.topology,
+            ledger=self.traffic,
+            per_hop_latency=per_hop_latency,
+            category_fn=_pop_category,
+            tracer=self.tracer,
+        )
+        self.registry = KeyRegistry()
+        self.dag = LogicalDag(self.config.hash_bits)
+
+        behaviors = behaviors or {}
+        self.nodes: Dict[int, IoTNode] = {}
+        for node_id in self.topology.node_ids:
+            self.nodes[node_id] = IoTNode(
+                node_id=node_id,
+                network=self.network,
+                registry=self.registry,
+                config=self.config,
+                behavior=behaviors.get(node_id),
+                dag_oracle=self.dag,
+                key_seed=seed,
+                rng=self.streams.get(f"node:{node_id}"),
+            )
+        self.behavior_overrides: Set[int] = set(behaviors)
+
+    # -- access ------------------------------------------------------------
+    def node(self, node_id: int) -> IoTNode:
+        """The :class:`IoTNode` with the given id."""
+        return self.nodes[node_id]
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All node ids, sorted."""
+        return self.topology.node_ids
+
+    @property
+    def honest_ids(self) -> List[int]:
+        """Nodes running the default behaviour."""
+        return [n for n in self.node_ids if n not in self.behavior_overrides]
+
+    # -- measurement --------------------------------------------------------
+    def storage_snapshot(self) -> StorageLedger:
+        """Current per-node storage (``S_i`` + ``H_i``), Fig. 7's metric."""
+        ledger = StorageLedger()
+        for node_id, node in self.nodes.items():
+            ledger.set_bits(node_id, "blocks", node.store.size_bits(self.config))
+            ledger.set_bits(node_id, "headers", node.cache.size_bits(self.config))
+        return ledger
+
+    def mean_storage_bits(self) -> float:
+        """Average per-node stored bits."""
+        total = sum(node.storage_bits() for node in self.nodes.values())
+        return total / len(self.nodes)
+
+
+@dataclass
+class SlotReport:
+    """What happened during one simulated slot."""
+
+    slot: int
+    blocks_generated: List[BlockId] = field(default_factory=list)
+    validations_started: int = 0
+
+
+@dataclass
+class ValidationRecord:
+    """A completed PoP run with its workload context."""
+
+    validator: int
+    verifier: int
+    block_id: BlockId
+    slot_started: int
+    outcome: Optional[PopOutcome]
+
+
+class SlotSimulation:
+    """The paper's time-slotted workload driver (§VI).
+
+    Parameters
+    ----------
+    deployment:
+        A wired :class:`TwoLayerDagNetwork`.
+    generation_period:
+        Slots between blocks per node.  An int applies to all nodes; a
+        mapping sets per-node rates; the string ``"random-1-2"``
+        reproduces Fig. 9's "one block per one or two time slots"
+        (drawn once per node from the seeded stream).
+    validate:
+        Whether generating nodes also run PoP on an old block.
+    fetch_body:
+        Whether workload validations retrieve the target's body.  The
+        paper's communication accounting counts headers only (Fig. 8),
+        so the default is header-only verification.
+    validation_min_age_slots:
+        Minimum age of validation targets; defaults to ``|V|`` per the
+        paper ("PoP can only verify a block that is generated before
+        |V| time slots").
+    intra_slot_jitter:
+        Nodes generate at ``slot + U[0, jitter]`` so same-slot blocks
+        can reference each other, as in the Fig. 3 walk-through.
+    """
+
+    def __init__(
+        self,
+        deployment: TwoLayerDagNetwork,
+        generation_period=1,
+        validate: bool = False,
+        validation_min_age_slots: Optional[int] = None,
+        intra_slot_jitter: float = 0.3,
+        fetch_body: bool = False,
+    ) -> None:
+        self.deployment = deployment
+        self.validate = validate
+        self.fetch_body = fetch_body
+        self.intra_slot_jitter = intra_slot_jitter
+        node_ids = deployment.node_ids
+        if validation_min_age_slots is None:
+            validation_min_age_slots = len(node_ids)
+        self.validation_min_age_slots = validation_min_age_slots
+
+        rng = deployment.streams.get("workload")
+        self._rng = rng
+        if generation_period == "random-1-2":
+            self.period: Dict[int, int] = {n: rng.choice([1, 2]) for n in node_ids}
+        elif isinstance(generation_period, int):
+            self.period = {n: generation_period for n in node_ids}
+        else:
+            self.period = {n: int(generation_period[n]) for n in node_ids}
+        for node_id, period in self.period.items():
+            if period < 1:
+                raise ValueError(f"generation period of node {node_id} must be >= 1")
+
+        #: (slot -> block ids generated in that slot)
+        self.blocks_by_slot: Dict[int, List[BlockId]] = {}
+        self.slot_reports: List[SlotReport] = []
+        self.validations: List[ValidationRecord] = []
+        self._pending: List[Tuple[ValidationRecord, Process]] = []
+        self.current_slot = -1
+
+    # -- scheduling one slot --------------------------------------------------
+    def _schedule_slot(self, slot: int) -> SlotReport:
+        deployment = self.deployment
+        report = SlotReport(slot=slot)
+        order = deployment.streams.shuffled(f"order:{slot}", deployment.node_ids)
+        # Ad-hoc verifications between run() calls may have advanced the
+        # clock past the nominal slot boundary; never schedule behind it.
+        slot_base = max(float(slot), deployment.sim.now)
+        for rank, node_id in enumerate(order):
+            if slot % self.period[node_id] != 0:
+                continue
+            jitter = (
+                self._rng.uniform(0.0, self.intra_slot_jitter)
+                if self.intra_slot_jitter > 0
+                else 0.0
+            )
+            deployment.sim.call_at(
+                slot_base + jitter, self._make_generator(node_id, slot, report)
+            )
+        return report
+
+    def _make_generator(self, node_id: int, slot: int, report: SlotReport) -> Callable[[], None]:
+        def generate() -> None:
+            node = self.deployment.node(node_id)
+            if not node.online:
+                return
+            block = node.generate_block()
+            self.blocks_by_slot.setdefault(slot, []).append(block.block_id)
+            report.blocks_generated.append(block.block_id)
+            if self.validate:
+                target = self._pick_validation_target(slot, exclude_origin=node_id)
+                if target is not None:
+                    record = ValidationRecord(
+                        validator=node_id,
+                        verifier=target.origin,
+                        block_id=target,
+                        slot_started=slot,
+                        outcome=None,  # filled on completion
+                    )
+                    process = node.verify_block(
+                        target.origin, target, fetch_body=self.fetch_body
+                    )
+                    self._pending.append((record, process))
+                    report.validations_started += 1
+
+        return generate
+
+    def _pick_validation_target(self, slot: int, exclude_origin: int) -> Optional[BlockId]:
+        """Uniform random block at least ``validation_min_age_slots`` old."""
+        newest_eligible_slot = slot - self.validation_min_age_slots
+        eligible: List[BlockId] = []
+        for s, blocks in self.blocks_by_slot.items():
+            if s <= newest_eligible_slot:
+                eligible.extend(b for b in blocks if b.origin != exclude_origin)
+        if not eligible:
+            return None
+        return self._rng.choice(sorted(eligible))
+
+    # -- running -----------------------------------------------------------------
+    def run(self, slots: int, start_slot: int = 0) -> None:
+        """Simulate ``slots`` slots, scheduling generation/validation.
+
+        May be called repeatedly to extend a simulation (the Fig. 7/8
+        storage-vs-time curves snapshot between calls).
+        """
+        for slot in range(start_slot, start_slot + slots):
+            if slot <= self.current_slot:
+                raise ValueError(f"slot {slot} already simulated")
+            report = self._schedule_slot(slot)
+            self.slot_reports.append(report)
+            self.deployment.sim.run(
+                until=max(float(slot + 1), self.deployment.sim.now + 1.0)
+            )
+            self.current_slot = slot
+            self._harvest_completed()
+
+    def run_until_quiet(self, max_extra_time: float = 50.0) -> None:
+        """Drain in-flight validations after the last scheduled slot."""
+        self.deployment.sim.run(until=self.deployment.sim.now + max_extra_time)
+        self._harvest_completed()
+
+    def _harvest_completed(self) -> None:
+        still_pending: List[Tuple[ValidationRecord, Process]] = []
+        for record, process in self._pending:
+            if process.triggered and process.ok:
+                record.outcome = process.value
+                self.validations.append(record)
+            elif process.triggered:
+                raise process.value
+            else:
+                still_pending.append((record, process))
+        self._pending = still_pending
+
+    # -- results ----------------------------------------------------------------
+    @property
+    def pending_validations(self) -> int:
+        """Validations still in flight."""
+        return len(self._pending)
+
+    def completed_outcomes(self) -> List[PopOutcome]:
+        """Outcomes of all finished validations."""
+        return [r.outcome for r in self.validations]
+
+    def success_rate(self) -> float:
+        """Fraction of finished validations that reached consensus."""
+        outcomes = self.completed_outcomes()
+        if not outcomes:
+            return 0.0
+        return sum(1 for o in outcomes if o.success) / len(outcomes)
+
+    def total_blocks(self) -> int:
+        """Blocks generated so far (Proposition 1 cross-check)."""
+        return sum(len(b) for b in self.blocks_by_slot.values())

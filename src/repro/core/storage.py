@@ -1,0 +1,74 @@
+"""Per-node block storage ``S_i`` with a child-reference index.
+
+A node stores only blocks it generated itself (§III-A).  The index
+``digest -> [own blocks referencing it]`` makes Algorithm 4's child
+search O(1) per request instead of scanning the whole store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.block import BlockId, DataBlock
+from repro.core.config import ProtocolConfig
+from repro.crypto.hashing import Digest
+
+
+class BlockStore:
+    """Append-only store of one node's own blocks."""
+
+    def __init__(self, owner: int, hash_bits: int = 256) -> None:
+        self.owner = owner
+        self.hash_bits = hash_bits
+        self._blocks: List[DataBlock] = []
+        self._children_of_digest: Dict[bytes, List[int]] = {}
+
+    def add(self, block: DataBlock) -> None:
+        """Append a newly generated block and index its references."""
+        if block.header.origin != self.owner:
+            raise ValueError(
+                f"store of node {self.owner} got block from node {block.header.origin}"
+            )
+        expected_index = len(self._blocks)
+        if block.header.index != expected_index:
+            raise ValueError(
+                f"non-contiguous block index {block.header.index}, expected {expected_index}"
+            )
+        position = len(self._blocks)
+        self._blocks.append(block)
+        for parent_digest in block.header.digests.values():
+            self._children_of_digest.setdefault(parent_digest.value, []).append(position)
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[DataBlock]:
+        return iter(self._blocks)
+
+    @property
+    def latest(self) -> Optional[DataBlock]:
+        """The most recent own block (``None`` before the genesis block)."""
+        return self._blocks[-1] if self._blocks else None
+
+    def by_index(self, index: int) -> DataBlock:
+        """Block with per-node sequence ``index``."""
+        return self._blocks[index]
+
+    def get(self, block_id: BlockId) -> Optional[DataBlock]:
+        """Block by full id, if it is ours and exists."""
+        if block_id.origin != self.owner or not 0 <= block_id.index < len(self._blocks):
+            return None
+        return self._blocks[block_id.index]
+
+    def oldest_child_of(self, digest: Digest) -> Optional[DataBlock]:
+        """Eq. (10)-(11): oldest own block whose Δ contains ``digest``."""
+        positions = self._children_of_digest.get(digest.value)
+        if not positions:
+            return None
+        oldest = min(positions, key=lambda p: (self._blocks[p].header.time, p))
+        return self._blocks[oldest]
+
+    def size_bits(self, config: ProtocolConfig) -> int:
+        """Total stored bits of ``S_i`` (Eq. 2 summed over blocks)."""
+        return sum(block.size_bits(config) for block in self._blocks)

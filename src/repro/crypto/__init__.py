@@ -1,0 +1,43 @@
+"""Cryptographic substrate.
+
+Real SHA-256 is used for all digests (truncated to the configured digest
+width, ``f_H`` in the paper), so corruption genuinely changes hashes and
+the DAG's tamper-evidence is exercised for real.  Signatures are a
+*simulated* keyed-hash scheme (see :mod:`repro.crypto.signature`): they
+are unforgeable within the simulation's trust model and have the byte
+sizes the paper accounts for, without pulling in an external ECC
+dependency.
+
+Modules
+-------
+``hashing``
+    Digest primitives and the :class:`~repro.crypto.hashing.Digest` value
+    type.
+``merkle``
+    Merkle tree over block-body chunks; ``Root`` field of headers.
+``keys`` / ``signature``
+    Key pairs, registry, sign/verify.
+``puzzle``
+    The nonce difficulty puzzle of Eq. (5).
+"""
+
+from repro.crypto.hashing import DIGEST_BITS_DEFAULT, Digest, hash_bytes, hash_fields
+from repro.crypto.keys import KeyPair, KeyRegistry
+from repro.crypto.merkle import MerkleTree, merkle_root
+from repro.crypto.puzzle import NoncePuzzle, PuzzleSolution
+from repro.crypto.signature import sign, verify
+
+__all__ = [
+    "DIGEST_BITS_DEFAULT",
+    "Digest",
+    "KeyPair",
+    "KeyRegistry",
+    "MerkleTree",
+    "NoncePuzzle",
+    "PuzzleSolution",
+    "hash_bytes",
+    "hash_fields",
+    "merkle_root",
+    "sign",
+    "verify",
+]

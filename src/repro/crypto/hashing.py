@@ -1,0 +1,95 @@
+"""Digest primitives.
+
+The paper fixes the hash width ``f_H`` at 256 bits (Fig. 2).  We use
+SHA-256 and allow truncation to narrower widths for experiments; a
+:class:`Digest` remembers its width so size accounting (Eqs. 2-3) stays
+bit-exact even with non-default widths.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+#: The paper's digest width f_H (bits).
+DIGEST_BITS_DEFAULT = 256
+
+BytesLike = Union[bytes, bytearray, memoryview]
+
+
+@dataclass(frozen=True)
+class Digest:
+    """An immutable hash value with explicit bit width.
+
+    Attributes
+    ----------
+    value:
+        Raw digest bytes (already truncated to ``bits``).
+    bits:
+        Width in bits; always a multiple of 8 here.
+    """
+
+    value: bytes
+    bits: int = DIGEST_BITS_DEFAULT
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.bits % 8 != 0:
+            raise ValueError(f"digest width must be a positive multiple of 8, got {self.bits}")
+        if len(self.value) != self.bits // 8:
+            raise ValueError(
+                f"digest value has {len(self.value)} bytes, expected {self.bits // 8}"
+            )
+
+    @property
+    def size_bits(self) -> int:
+        """Width in bits (alias used by size accounting)."""
+        return self.bits
+
+    def hex(self) -> str:
+        """Lower-case hex rendering of the digest."""
+        return self.value.hex()
+
+    def short(self, chars: int = 8) -> str:
+        """Abbreviated hex form for logs and reprs."""
+        return self.value.hex()[:chars]
+
+    def leading_zero_bits(self) -> int:
+        """Number of leading zero bits — used by the nonce puzzle."""
+        count = 0
+        for byte in self.value:
+            if byte == 0:
+                count += 8
+                continue
+            for shift in range(7, -1, -1):
+                if byte >> shift & 1:
+                    return count
+                count += 1
+        return count
+
+    def __int__(self) -> int:
+        return int.from_bytes(self.value, "big")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Digest({self.short()}…/{self.bits}b)"
+
+
+def hash_bytes(data: BytesLike, bits: int = DIGEST_BITS_DEFAULT) -> Digest:
+    """SHA-256 of ``data`` truncated to ``bits`` bits."""
+    raw = hashlib.sha256(bytes(data)).digest()
+    return Digest(raw[: bits // 8], bits)
+
+
+def hash_fields(fields: Iterable[BytesLike], bits: int = DIGEST_BITS_DEFAULT) -> Digest:
+    """Hash a sequence of byte fields with length-prefixed framing.
+
+    Length prefixes prevent ambiguity between e.g. ``(b"ab", b"c")`` and
+    ``(b"a", b"bc")`` — important because header digests (Eq. 5/6) hash
+    several variable-length fields together.
+    """
+    hasher = hashlib.sha256()
+    for field in fields:
+        chunk = bytes(field)
+        hasher.update(len(chunk).to_bytes(4, "big"))
+        hasher.update(chunk)
+    return Digest(hasher.digest()[: bits // 8], bits)

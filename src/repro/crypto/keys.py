@@ -1,0 +1,70 @@
+"""Key pairs and the network key registry.
+
+The paper assumes every node owns a public/private key pair and that
+"nodes are aware of the topology and each other's public key"
+(Section IV-D).  :class:`KeyRegistry` models that shared knowledge: it
+maps node ids to public keys and rejects unknown identities, which is
+the mechanism that defeats Sybil identities in §IV-D-3.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A simulated public/private key pair for one node.
+
+    The private key is random-looking bytes derived from the owner id
+    and a seed; the public key is a one-way image of the private key.
+    Within the simulation, knowing ``public`` does not let an attacker
+    produce signatures, because :func:`repro.crypto.signature.sign`
+    requires the private bytes.
+    """
+
+    owner: int
+    private: bytes
+    public: bytes
+
+    @classmethod
+    def generate(cls, owner: int, seed: int = 0) -> "KeyPair":
+        """Deterministically generate the pair for ``owner`` under ``seed``."""
+        private = hashlib.sha256(f"sk:{seed}:{owner}".encode()).digest()
+        public = hashlib.sha256(b"pk-derive:" + private).digest()
+        return cls(owner=owner, private=private, public=public)
+
+
+class KeyRegistry:
+    """The network-wide directory of registered public keys.
+
+    Registration models the out-of-band device-onboarding step the
+    paper declares out of scope ("we assume there is a complementary
+    method to register a device onto a network", §III-A).
+    """
+
+    def __init__(self) -> None:
+        self._by_node: Dict[int, bytes] = {}
+
+    def register(self, pair: KeyPair) -> None:
+        """Admit a node's public key; re-registration must be identical."""
+        existing = self._by_node.get(pair.owner)
+        if existing is not None and existing != pair.public:
+            raise ValueError(f"node {pair.owner} already registered with a different key")
+        self._by_node[pair.owner] = pair.public
+
+    def public_key(self, node: int) -> bytes:
+        """Public key of ``node``; raises ``KeyError`` for unknown ids."""
+        return self._by_node[node]
+
+    def is_registered(self, node: int) -> bool:
+        """Whether the identity is known to the network."""
+        return node in self._by_node
+
+    def __len__(self) -> int:
+        return len(self._by_node)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._by_node))

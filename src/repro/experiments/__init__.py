@@ -1,0 +1,31 @@
+"""Experiment runners — one per paper figure (§VI).
+
+Each module exposes a ``run_*`` function returning a plain dataclass of
+series (no plotting dependencies) and a ``main``-style formatter that
+prints the rows the paper plots.  The benchmark harness under
+``benchmarks/`` calls these.
+
+* :mod:`repro.experiments.fig7_storage` — Fig. 7(a)-(d): storage.
+* :mod:`repro.experiments.fig8_comm` — Fig. 8(a)-(d): communication.
+* :mod:`repro.experiments.fig9_consensus` — Fig. 9(a)-(d): consensus
+  failure probability under malicious coalitions.
+* :mod:`repro.experiments.headline` — the abstract's headline ratios.
+"""
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig7_storage import Fig7Result, run_fig7
+from repro.experiments.fig8_comm import Fig8Result, run_fig8
+from repro.experiments.fig9_consensus import Fig9Result, run_fig9
+from repro.experiments.headline import HeadlineResult, run_headline
+
+__all__ = [
+    "ExperimentScale",
+    "Fig7Result",
+    "Fig8Result",
+    "Fig9Result",
+    "HeadlineResult",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_headline",
+]

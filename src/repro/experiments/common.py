@@ -1,0 +1,66 @@
+"""Shared experiment configuration.
+
+The paper's full workload (50 nodes, 200 slots, every node validating
+every slot) takes minutes per panel in pure Python; the benchmark
+harness therefore defaults to a reduced-but-same-shape scale and
+honours the ``REPRO_FULL=1`` environment variable for full paper-scale
+runs.  All results record the scale they were produced at.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for wall-clock time.
+
+    Attributes
+    ----------
+    node_count:
+        ``|V|`` (paper: 50).
+    slots:
+        Simulated slots (paper: 200).
+    sample_slots:
+        Slots at which series are sampled (paper plots every 25).
+    validation:
+        Whether the 2LDAG runs include generation-time PoP.
+    probes_per_sample:
+        Fig. 9: verification probes per sampled slot.
+    seed:
+        Master seed.
+    """
+
+    node_count: int = 50
+    slots: int = 200
+    sample_slots: List[int] = field(
+        default_factory=lambda: [25, 50, 75, 100, 125, 150, 175, 200]
+    )
+    validation: bool = True
+    probes_per_sample: int = 8
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        """The §VI configuration."""
+        return cls()
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        """A fast scale with the same qualitative shape (CI-friendly)."""
+        return cls(
+            node_count=30,
+            slots=80,
+            sample_slots=[10, 20, 40, 60, 80],
+            probes_per_sample=4,
+        )
+
+    @classmethod
+    def from_env(cls) -> "ExperimentScale":
+        """``REPRO_FULL=1`` selects paper scale; quick otherwise."""
+        if os.environ.get("REPRO_FULL") == "1":
+            return cls.paper()
+        return cls.quick()

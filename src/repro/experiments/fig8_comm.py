@@ -1,0 +1,125 @@
+"""Fig. 8 — communication overhead.
+
+Panels: (a) overall per-node traffic (DAG construction + consensus) for
+2LDAG at 33% and 49% malicious tolerance versus PBFT and IOTA; (b) DAG
+construction only (digest pushes); (c) consensus only (PoP headers);
+(d) the CDF of per-node total traffic at the final slot.
+
+The 2LDAG runs are live simulations with generation-time validation
+(header-only fetches, matching the paper's header accounting); the
+baselines use their cost models.  "33%/49% malicious" select the
+tolerance γ — consensus paths of ⌈0.33|V|⌉+1 and ⌈0.49|V|⌉+1 nodes —
+as in the paper's §VI-B.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.baselines.iota.costmodel import IotaCostModel
+from repro.baselines.pbft.costmodel import PbftCostModel
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import CATEGORY_DAG, CATEGORY_POP, SlotSimulation, TwoLayerDagNetwork
+from repro.experiments.common import ExperimentScale
+from repro.metrics.cdf import EmpiricalCDF
+from repro.metrics.reporting import format_series_table
+from repro.metrics.units import bits_to_mb, bits_to_mbit
+from repro.net.topology import sequential_geometric_topology
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class Fig8Result:
+    """All Fig. 8 series from one pair of 2LDAG runs plus cost models."""
+
+    sample_slots: List[int]
+    overall_mbit: Dict[str, List[float]]       # panel (a)
+    dag_mbit: Dict[str, List[float]]           # panel (b)
+    consensus_mbit: Dict[str, List[float]]     # panel (c)
+    per_node_total_mb_final: Dict[str, List[float]] = field(default_factory=dict)
+    scale: ExperimentScale = None
+
+    def cdf(self, label: str) -> EmpiricalCDF:
+        """Panel (d): CDF over final per-node communication (MB)."""
+        return EmpiricalCDF(self.per_node_total_mb_final[label])
+
+    def to_table(self, panel: str = "a") -> str:
+        """Text rows for a panel: 'a' overall, 'b' dag, 'c' consensus."""
+        series = {"a": self.overall_mbit, "b": self.dag_mbit, "c": self.consensus_mbit}[panel]
+        return format_series_table("slots", self.sample_slots, series)
+
+
+def gamma_for_fraction(node_count: int, fraction: float) -> int:
+    """The γ giving a consensus path of ⌈fraction·|V|⌉ + 1 nodes."""
+    return max(1, math.ceil(node_count * fraction))
+
+
+def _run_2ldag_comm(
+    gamma: int, scale: ExperimentScale, label: str
+) -> Dict[str, object]:
+    streams = RandomStreams(scale.seed)
+    topology = sequential_geometric_topology(
+        node_count=scale.node_count, streams=streams
+    )
+    config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.5)
+    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=scale.seed)
+    workload = SlotSimulation(deployment, generation_period=1, validate=True)
+
+    nodes = deployment.node_ids
+    overall: List[float] = []
+    dag_only: List[float] = []
+    pop_only: List[float] = []
+    done = 0
+    for sample in scale.sample_slots:
+        workload.run(sample - done, start_slot=done)
+        done = sample
+        ledger = deployment.traffic
+        overall.append(bits_to_mbit(ledger.mean_tx_bits(nodes)))
+        dag_only.append(bits_to_mbit(ledger.mean_tx_bits(nodes, [CATEGORY_DAG])))
+        pop_only.append(bits_to_mbit(ledger.mean_tx_bits(nodes, [CATEGORY_POP])))
+    per_node_final = [
+        bits_to_mb(deployment.traffic.total_bits(n)) for n in nodes
+    ]
+    return {
+        "label": label,
+        "overall": overall,
+        "dag": dag_only,
+        "pop": pop_only,
+        "per_node_final": per_node_final,
+        "deployment": deployment,
+    }
+
+
+def run_fig8(scale: ExperimentScale = None) -> Fig8Result:
+    """Produce all Fig. 8 series."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+
+    label_33 = "2LDAG-33%"
+    label_49 = "2LDAG-49%"
+    run33 = _run_2ldag_comm(gamma_for_fraction(scale.node_count, 0.33), scale, label_33)
+    run49 = _run_2ldag_comm(gamma_for_fraction(scale.node_count, 0.49), scale, label_49)
+
+    topology = run33["deployment"].topology
+    body_bits = run33["deployment"].config.body_bits
+    pbft = PbftCostModel(topology, body_bits)
+    iota = IotaCostModel(topology, body_bits)
+
+    return Fig8Result(
+        sample_slots=list(scale.sample_slots),
+        overall_mbit={
+            "PBFT": pbft.comm_series_mbit(scale.sample_slots),
+            "IOTA": iota.comm_series_mbit(scale.sample_slots),
+            label_33: run33["overall"],
+            label_49: run49["overall"],
+        },
+        dag_mbit={label_33: run33["dag"], label_49: run49["dag"]},
+        consensus_mbit={label_33: run33["pop"], label_49: run49["pop"]},
+        per_node_total_mb_final={
+            label_33: run33["per_node_final"],
+            label_49: run49["per_node_final"],
+        },
+        scale=scale,
+    )

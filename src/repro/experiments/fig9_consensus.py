@@ -1,0 +1,169 @@
+"""Fig. 9 — time for consensus under malicious coalitions.
+
+For tolerance γ ∈ {10, 15, 20, 24} and varying numbers of actually
+malicious (PoP-silent) nodes, the experiment measures the *consensus
+failure probability* of verifying a block generated in the first γ
+slots, as the DAG ages: at each sampled slot, several PoP probes are
+launched from random honest validators against random early honest
+blocks; the failure fraction is the plotted probability.  Consensus is
+"reached" at the first sampled slot where no probe fails.
+
+Probes run *inside* the simulation (scheduled at their sample slot), so
+they contend with ongoing block generation exactly like the paper's
+generation-time validations do.
+
+Workload per the paper: each node generates one block per one or two
+slots (drawn per node), so micro-loops occur (§V, Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.attacks.majority import make_coalition
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.experiments.common import ExperimentScale
+from repro.metrics.reporting import format_series_table
+from repro.net.topology import sequential_geometric_topology
+from repro.sim.rng import RandomStreams
+
+
+@dataclass
+class Fig9Result:
+    """Failure-probability series for one γ panel."""
+
+    gamma: int
+    malicious_counts: List[int]
+    sample_slots: List[int]
+    failure_probability: Dict[int, List[float]]  # malicious count -> series
+    scale: ExperimentScale = None
+
+    def consensus_slot(self, malicious: int) -> Optional[int]:
+        """First sampled slot with zero failures, or ``None``."""
+        for slot, probability in zip(self.sample_slots, self.failure_probability[malicious]):
+            if probability == 0.0:
+                return slot
+        return None
+
+    def to_table(self) -> str:
+        """Failure probability rows per sampled slot."""
+        series = {
+            f"{m} malicious": probs for m, probs in self.failure_probability.items()
+        }
+        return format_series_table("slots", self.sample_slots, series)
+
+
+def _probe_batch(
+    deployment: TwoLayerDagNetwork,
+    workload: SlotSimulation,
+    gamma: int,
+    probes: int,
+    rng,
+) -> float:
+    """Run a probe batch against the current DAG; return failure fraction.
+
+    Probes are driven to completion synchronously (the workload driver
+    tolerates the resulting clock advance), so every batch measures the
+    DAG exactly as of its sample slot.
+    """
+    honest = deployment.honest_ids
+    targets = [
+        b
+        for slot in range(0, gamma)
+        for b in workload.blocks_by_slot.get(slot, [])
+        if b.origin in set(honest)
+    ]
+    if not targets:
+        return 1.0
+    processes = []
+    for _ in range(probes):
+        target = rng.choice(targets)
+        validator_id = rng.choice([n for n in honest if n != target.origin])
+        node = deployment.node(validator_id)
+        processes.append(node.verify_block(target.origin, target, fetch_body=False))
+    deployment.sim.run()  # drain the probes (no future slots are queued)
+    failures = sum(
+        1 for p in processes if not p.triggered or not p.value.success
+    )
+    return failures / probes
+
+
+def run_fig9(
+    gamma: int,
+    malicious_counts: List[int],
+    sample_slots: Optional[List[int]] = None,
+    scale: ExperimentScale = None,
+) -> Fig9Result:
+    """Produce one Fig. 9 panel.
+
+    Parameters
+    ----------
+    gamma:
+        Malicious tolerance; quorum is γ+1 distinct path nodes.
+    malicious_counts:
+        Numbers of PoP-silent nodes to sweep (paper: up to γ).
+    sample_slots:
+        Slots at which failure probability is measured; defaults to a
+        range bracketing the expected consensus time (γ .. ~5γ).
+    """
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if sample_slots is None:
+        step = max(2, gamma // 2)
+        sample_slots = sorted({gamma + k * step for k in range(0, 9)})
+    sample_slots = sorted(sample_slots)
+
+    failure: Dict[int, List[float]] = {}
+    for malicious in malicious_counts:
+        streams = RandomStreams(scale.seed + malicious)
+        topology = sequential_geometric_topology(
+            node_count=scale.node_count, streams=streams
+        )
+        behaviors = make_coalition(topology, malicious, streams)
+        # Short reply timeout + fast links keep probe sim-time well under
+        # a slot even with many silent responders.
+        config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.5)
+        config = ProtocolConfig(
+            body_bits=config.body_bits, gamma=gamma, reply_timeout=0.02
+        )
+        deployment = TwoLayerDagNetwork(
+            config=config,
+            topology=topology,
+            seed=scale.seed + malicious,
+            behaviors=behaviors,
+            per_hop_latency=0.0001,
+        )
+        workload = SlotSimulation(
+            deployment, generation_period="random-1-2", validate=False
+        )
+        probe_rng = streams.get("probes")
+        series: List[float] = []
+        done = 0
+        for sample in sample_slots:
+            workload.run(sample - done, start_slot=done)
+            done = sample
+            series.append(
+                _probe_batch(
+                    deployment, workload, gamma, scale.probes_per_sample, probe_rng
+                )
+            )
+        failure[malicious] = series
+
+    return Fig9Result(
+        gamma=gamma,
+        malicious_counts=list(malicious_counts),
+        sample_slots=sample_slots,
+        failure_probability=failure,
+        scale=scale,
+    )
+
+
+#: The paper's four panels: γ and the malicious sweeps of Fig. 9(a)-(d).
+PAPER_PANELS: Dict[str, Dict] = {
+    "a": {"gamma": 10, "malicious_counts": [0, 5, 8, 10]},
+    "b": {"gamma": 15, "malicious_counts": [0, 5, 10, 15]},
+    "c": {"gamma": 20, "malicious_counts": [0, 5, 18, 20]},
+    "d": {"gamma": 24, "malicious_counts": [0, 5, 10, 20, 22, 24]},
+}

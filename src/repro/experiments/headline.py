@@ -1,0 +1,68 @@
+"""The abstract's headline claims, as a single reproducible report.
+
+Claims: "2LDAG has storage and communication cost that is respectively
+two and three orders of magnitude lower than traditional blockchain and
+also blockchains that use a DAG structure" and "achieves consensus even
+when 49% of nodes are malicious".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig7_storage import run_fig7
+from repro.experiments.fig8_comm import run_fig8
+
+
+@dataclass
+class HeadlineResult:
+    """Measured ratios against the baselines at the final sampled slot."""
+
+    storage_ratio_pbft: float
+    storage_ratio_iota: float
+    comm_ratio_pbft: float
+    comm_ratio_iota: float
+    scale: ExperimentScale
+
+    @property
+    def storage_orders_pbft(self) -> float:
+        """log10 of the PBFT/2LDAG storage ratio (paper claims ~2)."""
+        return math.log10(self.storage_ratio_pbft)
+
+    @property
+    def comm_orders_pbft(self) -> float:
+        """log10 of the PBFT/2LDAG communication ratio (paper claims ~3)."""
+        return math.log10(self.comm_ratio_pbft)
+
+    def summary(self) -> str:
+        """Human-readable report."""
+        return (
+            f"storage: PBFT/2LDAG = {self.storage_ratio_pbft:.0f}x "
+            f"({self.storage_orders_pbft:.1f} orders), "
+            f"IOTA/2LDAG = {self.storage_ratio_iota:.0f}x\n"
+            f"communication: PBFT/2LDAG = {self.comm_ratio_pbft:.0f}x "
+            f"({self.comm_orders_pbft:.1f} orders), "
+            f"IOTA/2LDAG = {self.comm_ratio_iota:.0f}x"
+        )
+
+
+def run_headline(scale: ExperimentScale = None) -> HeadlineResult:
+    """Derive the headline ratios from the Fig. 7/8 runs (C = 0.5 MB)."""
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    fig7 = run_fig7(0.5, scale)
+    fig8 = run_fig8(scale)
+
+    final = -1
+    ldag_storage = fig7.series_mb["2LDAG"][final]
+    ldag_comm = fig8.overall_mbit["2LDAG-33%"][final]
+    return HeadlineResult(
+        storage_ratio_pbft=fig7.series_mb["PBFT"][final] / ldag_storage,
+        storage_ratio_iota=fig7.series_mb["IOTA"][final] / ldag_storage,
+        comm_ratio_pbft=fig8.overall_mbit["PBFT"][final] / ldag_comm,
+        comm_ratio_iota=fig8.overall_mbit["IOTA"][final] / ldag_comm,
+        scale=scale,
+    )

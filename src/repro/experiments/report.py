@@ -1,0 +1,120 @@
+"""One-shot reproduction report.
+
+Gathers every experiment (Figs. 7-9, headline ratios) at a chosen
+scale and renders a single markdown document with text tables and
+ASCII charts — the artifact a reviewer reads next to EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.fig7_storage import Fig7Result, run_fig7
+from repro.experiments.fig8_comm import Fig8Result, run_fig8
+from repro.experiments.fig9_consensus import PAPER_PANELS, Fig9Result, run_fig9
+from repro.experiments.headline import HeadlineResult, run_headline
+from repro.metrics.charts import render_chart
+
+
+@dataclass
+class ReproductionReport:
+    """All experiment results at one scale."""
+
+    scale: ExperimentScale
+    fig7: Dict[float, Fig7Result]
+    fig8: Fig8Result
+    fig9: Dict[str, Fig9Result]
+    headline: HeadlineResult
+
+    def to_markdown(self) -> str:
+        """Render the full report."""
+        sections: List[str] = [
+            "# 2LDAG reproduction report",
+            "",
+            f"Scale: {self.scale.node_count} nodes, {self.scale.slots} slots, "
+            f"seed {self.scale.seed}.",
+            "",
+            "## Headline claims",
+            "",
+            "```",
+            self.headline.summary(),
+            "```",
+        ]
+        for body_mb, result in sorted(self.fig7.items()):
+            sections += [
+                "",
+                f"## Fig. 7 — storage, C = {body_mb} MB",
+                "",
+                "```",
+                result.to_table(),
+                "",
+                render_chart(
+                    result.sample_slots, result.series_mb,
+                    log_y=True, y_label="per-node storage (MB)",
+                ),
+                "```",
+            ]
+        sections += [
+            "",
+            "## Fig. 8 — communication",
+            "",
+            "```",
+            self.fig8.to_table("a"),
+            "",
+            render_chart(
+                self.fig8.sample_slots, self.fig8.overall_mbit,
+                log_y=True, y_label="per-node traffic (Mbit)",
+            ),
+            "```",
+        ]
+        for panel, result in sorted(self.fig9.items()):
+            consensus = {
+                m: result.consensus_slot(m) for m in result.malicious_counts
+            }
+            sections += [
+                "",
+                f"## Fig. 9({panel}) — consensus time, gamma = {result.gamma}",
+                "",
+                "```",
+                result.to_table(),
+                "```",
+                "",
+                f"Consensus slots: {consensus}",
+            ]
+        return "\n".join(sections) + "\n"
+
+
+def generate_report(
+    scale: Optional[ExperimentScale] = None,
+    fig7_bodies: Optional[List[float]] = None,
+    fig9_panels: Optional[List[str]] = None,
+) -> ReproductionReport:
+    """Run every experiment and assemble the report.
+
+    ``fig7_bodies`` / ``fig9_panels`` trim the sweep for faster runs
+    (defaults: all three C values, all four γ panels).
+    """
+    if scale is None:
+        scale = ExperimentScale.from_env()
+    if fig7_bodies is None:
+        fig7_bodies = [0.1, 0.5, 1.0]
+    if fig9_panels is None:
+        fig9_panels = list(PAPER_PANELS)
+
+    fig7 = {body: run_fig7(body, scale) for body in fig7_bodies}
+    fig8 = run_fig8(scale)
+    fig9: Dict[str, Fig9Result] = {}
+    for panel in fig9_panels:
+        spec = PAPER_PANELS[panel]
+        gamma = max(2, round(spec["gamma"] * scale.node_count / 50))
+        malicious = sorted({
+            round(m * scale.node_count / 50) for m in spec["malicious_counts"]
+        })
+        malicious = [m for m in malicious if m <= gamma]
+        fig9[panel] = run_fig9(gamma, malicious, scale=scale)
+    headline = run_headline(scale)
+    return ReproductionReport(
+        scale=scale, fig7=fig7, fig8=fig8, fig9=fig9, headline=headline
+    )

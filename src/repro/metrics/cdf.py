@@ -1,0 +1,62 @@
+"""Empirical cumulative distribution functions.
+
+Figs. 7(d) and 8(d) plot the CDF of per-node storage/communication.
+:class:`EmpiricalCDF` implements the standard right-continuous step
+CDF with quantile inversion.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, List, Tuple
+
+
+class EmpiricalCDF:
+    """The step CDF of a finite sample."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self.samples: List[float] = sorted(float(s) for s in samples)
+        if not self.samples:
+            raise ValueError("EmpiricalCDF requires at least one sample")
+
+    @property
+    def n(self) -> int:
+        """Sample count."""
+        return len(self.samples)
+
+    def probability_at_or_below(self, x: float) -> float:
+        """F(x) = P[X ≤ x]."""
+        return bisect.bisect_right(self.samples, x) / self.n
+
+    __call__ = probability_at_or_below
+
+    def quantile(self, q: float) -> float:
+        """Smallest sample value v with F(v) ≥ q (inverse CDF)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile level must be in (0, 1], got {q}")
+        index = min(self.n - 1, max(0, math.ceil(q * self.n) - 1))
+        return self.samples[index]
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return self.samples[0]
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return self.samples[-1]
+
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.samples) / self.n
+
+    def steps(self) -> List[Tuple[float, float]]:
+        """The plotted points ``(value, F(value))`` with duplicates merged."""
+        points: List[Tuple[float, float]] = []
+        for i, value in enumerate(self.samples):
+            if i + 1 < self.n and self.samples[i + 1] == value:
+                continue
+            points.append((value, (i + 1) / self.n))
+        return points

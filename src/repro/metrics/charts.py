@@ -1,0 +1,97 @@
+"""ASCII chart rendering for experiment output.
+
+The benchmark harness runs in terminals and CI logs, so figures are
+rendered as text: a log- or linear-scale multi-series line chart built
+from unicode block characters.  No plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+#: Marker characters assigned to series in order.
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int, log: bool) -> int:
+    """Map a value to a row index in [0, steps-1]."""
+    if log:
+        value = math.log10(max(value, 1e-12))
+        low = math.log10(max(low, 1e-12))
+        high = math.log10(max(high, 1e-12))
+    if high == low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return max(0, min(steps - 1, int(round(fraction * (steps - 1)))))
+
+
+def render_chart(
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    height: int = 12,
+    width: Optional[int] = None,
+    log_y: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render named series against ``x_values`` as an ASCII chart.
+
+    Parameters
+    ----------
+    height:
+        Chart rows (excluding axes and legend).
+    width:
+        Chart columns; defaults to one column per x value, padded to a
+        minimum of 24.
+    log_y:
+        Log10 y-axis, as the paper's Fig. 7/8 use.
+    """
+    if not x_values:
+        raise ValueError("need at least one x value")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length mismatch")
+
+    all_values = [v for values in series.values() for v in values]
+    if log_y:
+        positive = [v for v in all_values if v > 0]
+        low = min(positive) if positive else 1e-12
+    else:
+        low = min(all_values)
+    high = max(all_values)
+
+    if width is None:
+        width = max(24, len(x_values) * 6)
+    grid = [[" "] * width for _ in range(height)]
+
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for i, value in enumerate(values):
+            if log_y and value <= 0:
+                continue
+            column = int(i * (width - 1) / max(1, len(x_values) - 1))
+            row = height - 1 - _scale(value, low, high, height, log_y)
+            grid[row][column] = marker
+
+    def fmt(value: float) -> str:
+        return f"{value:.3g}"
+
+    lines = []
+    axis_width = max(len(fmt(high)), len(fmt(low)))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = fmt(high)
+        elif row_index == height - 1:
+            label = fmt(low)
+        else:
+            label = ""
+        lines.append(f"{label:>{axis_width}} |{''.join(row)}")
+    lines.append(f"{'':>{axis_width}} +{'-' * width}")
+    x_axis = f"{fmt(x_values[0])}{' ' * max(1, width - len(fmt(x_values[0])) - len(fmt(x_values[-1])))}{fmt(x_values[-1])}"
+    lines.append(f"{'':>{axis_width}}  {x_axis}")
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(series)
+    )
+    scale_tag = "log10" if log_y else "linear"
+    header = f"[{scale_tag} y] {y_label}".rstrip()
+    return "\n".join([header, *lines, legend])

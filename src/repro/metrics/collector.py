@@ -1,0 +1,118 @@
+"""Per-node traffic and storage ledgers.
+
+:class:`TrafficLedger` is written by the network transport on every
+physical transmission/reception; :class:`StorageLedger` snapshots what
+each node currently persists.  Both break quantities down by *category*
+(e.g. ``"digest"``, ``"pop"``, ``"pbft"``) so experiments can reproduce
+Fig. 8's separation of DAG-construction traffic from consensus traffic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional
+
+
+class TrafficLedger:
+    """Accumulates transmitted/received bits per node and category."""
+
+    def __init__(self) -> None:
+        self._tx: Dict[int, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        self._rx: Dict[int, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+        self._messages: Dict[str, int] = defaultdict(int)
+
+    # -- recording (called by the transport) --------------------------------
+    def record_tx(self, node: int, category: str, bits: float) -> None:
+        """Account ``bits`` transmitted by ``node`` under ``category``."""
+        self._tx[node][category] += bits
+
+    def record_rx(self, node: int, category: str, bits: float) -> None:
+        """Account ``bits`` received by ``node`` under ``category``."""
+        self._rx[node][category] += bits
+
+    def record_message(self, kind: str) -> None:
+        """Count one end-to-end message of the given kind."""
+        self._messages[kind] += 1
+
+    # -- queries -------------------------------------------------------------
+    def tx_bits(self, node: int, categories: Optional[Iterable[str]] = None) -> float:
+        """Bits transmitted by ``node`` (optionally restricted by category)."""
+        per_cat = self._tx.get(node, {})
+        if categories is None:
+            return sum(per_cat.values())
+        return sum(per_cat.get(c, 0.0) for c in categories)
+
+    def rx_bits(self, node: int, categories: Optional[Iterable[str]] = None) -> float:
+        """Bits received by ``node`` (optionally restricted by category)."""
+        per_cat = self._rx.get(node, {})
+        if categories is None:
+            return sum(per_cat.values())
+        return sum(per_cat.get(c, 0.0) for c in categories)
+
+    def total_bits(self, node: int, categories: Optional[Iterable[str]] = None) -> float:
+        """Transmit + receive bits for ``node``."""
+        return self.tx_bits(node, categories) + self.rx_bits(node, categories)
+
+    def message_count(self, kind: str) -> int:
+        """End-to-end messages recorded under ``kind``."""
+        return self._messages.get(kind, 0)
+
+    def categories(self) -> List[str]:
+        """All categories seen so far, sorted."""
+        seen = set()
+        for per_cat in self._tx.values():
+            seen.update(per_cat)
+        for per_cat in self._rx.values():
+            seen.update(per_cat)
+        return sorted(seen)
+
+    def mean_tx_bits(self, nodes: Iterable[int], categories: Optional[Iterable[str]] = None) -> float:
+        """Average transmitted bits across ``nodes`` — Fig. 8's y-axis."""
+        cats = list(categories) if categories is not None else None
+        node_list = list(nodes)
+        if not node_list:
+            return 0.0
+        return sum(self.tx_bits(n, cats) for n in node_list) / len(node_list)
+
+    def snapshot_tx(self) -> Mapping[int, float]:
+        """Total transmitted bits per node (a copy)."""
+        return {node: sum(per_cat.values()) for node, per_cat in self._tx.items()}
+
+
+class StorageLedger:
+    """Per-node persistent storage in bits, by category.
+
+    Categories used by the reproduction: ``"blocks"`` (a node's own
+    blocks ``S_i``), ``"headers"`` (the trusted header cache ``H_i``),
+    ``"chain"``/``"tangle"`` for the baselines.
+    """
+
+    def __init__(self) -> None:
+        self._bits: Dict[int, Dict[str, float]] = defaultdict(lambda: defaultdict(float))
+
+    def set_bits(self, node: int, category: str, bits: float) -> None:
+        """Overwrite the current figure (storage is a level, not a flow)."""
+        self._bits[node][category] = bits
+
+    def add_bits(self, node: int, category: str, bits: float) -> None:
+        """Increase the current figure by ``bits``."""
+        self._bits[node][category] += bits
+
+    def bits(self, node: int, categories: Optional[Iterable[str]] = None) -> float:
+        """Stored bits for ``node`` (optionally restricted by category)."""
+        per_cat = self._bits.get(node, {})
+        if categories is None:
+            return sum(per_cat.values())
+        return sum(per_cat.get(c, 0.0) for c in categories)
+
+    def mean_bits(self, nodes: Iterable[int], categories: Optional[Iterable[str]] = None) -> float:
+        """Average stored bits across ``nodes`` — Fig. 7's y-axis."""
+        cats = list(categories) if categories is not None else None
+        node_list = list(nodes)
+        if not node_list:
+            return 0.0
+        return sum(self.bits(n, cats) for n in node_list) / len(node_list)
+
+    def per_node_bits(self, nodes: Iterable[int]) -> List[float]:
+        """Stored bits for each node in order — feeds the Fig. 7(d) CDF."""
+        return [self.bits(n) for n in nodes]

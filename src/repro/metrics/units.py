@@ -1,0 +1,33 @@
+"""Unit conversions used by the figures.
+
+The paper mixes units: Fig. 7 reports storage in megabytes (MB),
+Fig. 8 reports communication in megabits (Mb) on some panels and MB on
+the CDF panel.  Centralising the conversions avoids silent factor-of-8
+errors in experiment code.
+"""
+
+from __future__ import annotations
+
+BITS_PER_BYTE = 8
+BYTES_PER_MB = 1_000_000  # the paper uses decimal megabytes
+BITS_PER_MBIT = 1_000_000
+
+
+def mb_to_bits(mb: float) -> int:
+    """Decimal megabytes -> bits (block body sizes C are given in MB)."""
+    return int(round(mb * BYTES_PER_MB * BITS_PER_BYTE))
+
+
+def bits_to_mb(bits: float) -> float:
+    """Bits -> decimal megabytes."""
+    return bits / (BYTES_PER_MB * BITS_PER_BYTE)
+
+
+def bits_to_mbit(bits: float) -> float:
+    """Bits -> decimal megabits."""
+    return bits / BITS_PER_MBIT
+
+
+def bits_to_kb(bits: float) -> float:
+    """Bits -> decimal kilobytes."""
+    return bits / (1000 * BITS_PER_BYTE)

@@ -1,0 +1,29 @@
+"""Wireless network substrate.
+
+Models the physical layer of §III-A/§VI: static IoT nodes placed in a
+square area with a fixed communication range, connected by undirected
+links.  Provides:
+
+* :mod:`repro.net.topology` — the paper's sequential random geometric
+  placement (each new node lands within range of an existing one, so
+  the network is connected by construction);
+* :mod:`repro.net.routing` — hop counts and shortest paths, used by the
+  "route PoP over shortest physical paths" future-work feature;
+* :mod:`repro.net.transport` — discrete-event message delivery with
+  per-node transmit/receive byte counters (the quantities Figs. 7-8
+  measure).
+"""
+
+from repro.net.messages import Message
+from repro.net.routing import RoutingTable
+from repro.net.topology import Topology, sequential_geometric_topology
+from repro.net.transport import Network, NodeInterface
+
+__all__ = [
+    "Message",
+    "Network",
+    "NodeInterface",
+    "RoutingTable",
+    "Topology",
+    "sequential_geometric_topology",
+]

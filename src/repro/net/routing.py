@@ -1,0 +1,104 @@
+"""Shortest-path routing over a topology.
+
+PoP's validator exchanges ``REQ_CHILD``/``RPY_CHILD`` with nodes that
+are generally not its physical neighbours, so those unicasts traverse
+multi-hop routes.  :class:`RoutingTable` precomputes all-pairs hop
+counts and next-hops with per-source BFS (unweighted links), which is
+exact for the paper's unit-cost wireless graph.
+
+The paper's §VII names "construct the shortest path from a validator to
+a verifier in the physical layer" as future work; this module is also
+the substrate for that extension (see the validator's ``route_aware``
+option).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.net.topology import Topology
+
+#: Hop count reported for unreachable destinations.
+UNREACHABLE = -1
+
+
+class RoutingTable:
+    """All-pairs BFS routes over a :class:`Topology`.
+
+    Routes are deterministic: among equal-length routes, the next hop
+    with the smallest node id is chosen, keeping byte accounting
+    reproducible across runs.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self._distance: Dict[int, Dict[int, int]] = {}
+        self._next_hop: Dict[int, Dict[int, int]] = {}
+        for source in topology.node_ids:
+            self._compute_from(source)
+
+    def _compute_from(self, source: int) -> None:
+        distance: Dict[int, int] = {source: 0}
+        parent: Dict[int, int] = {}
+        queue = deque([source])
+        while queue:
+            node = queue.popleft()
+            for neighbor in sorted(self.topology.neighbors(node)):
+                if neighbor not in distance:
+                    distance[neighbor] = distance[node] + 1
+                    parent[neighbor] = node
+                    queue.append(neighbor)
+        next_hop: Dict[int, int] = {}
+        for destination in distance:
+            if destination == source:
+                continue
+            # Walk back from the destination to the node adjacent to source.
+            cursor = destination
+            while parent[cursor] != source:
+                cursor = parent[cursor]
+            next_hop[destination] = cursor
+        self._distance[source] = distance
+        self._next_hop[source] = next_hop
+
+    def hop_count(self, source: int, destination: int) -> int:
+        """Hops on the shortest route, 0 for self, ``UNREACHABLE`` if none."""
+        if source == destination:
+            return 0
+        return self._distance[source].get(destination, UNREACHABLE)
+
+    def next_hop(self, source: int, destination: int) -> Optional[int]:
+        """First hop from ``source`` toward ``destination`` (``None`` if unreachable)."""
+        if source == destination:
+            return None
+        return self._next_hop[source].get(destination)
+
+    def path(self, source: int, destination: int) -> List[int]:
+        """Full node sequence ``[source, ..., destination]``.
+
+        Raises ``ValueError`` when the destination is unreachable.
+        """
+        if source == destination:
+            return [source]
+        route = [source]
+        cursor = source
+        while cursor != destination:
+            step = self.next_hop(cursor, destination)
+            if step is None:
+                raise ValueError(f"no route from {source} to {destination}")
+            route.append(step)
+            cursor = step
+        return route
+
+    def eccentricity(self, node: int) -> int:
+        """Largest hop count from ``node`` to any reachable node."""
+        return max(self._distance[node].values())
+
+    def diameter(self) -> int:
+        """Largest hop count over all reachable pairs."""
+        return max(self.eccentricity(n) for n in self.topology.node_ids)
+
+    def nodes_sorted_by_distance(self, source: int) -> List[int]:
+        """All reachable nodes ordered by (hops, id) — used by experiments."""
+        reachable = self._distance[source]
+        return sorted(reachable, key=lambda n: (reachable[n], n))

@@ -1,0 +1,79 @@
+"""ASCII rendering of network topologies.
+
+Examples and debugging sessions benefit from *seeing* the deployment:
+node positions are projected onto a character grid, optionally coloured
+by role (malicious/validator/verifier).  Pure text, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.net.topology import Topology
+
+
+def render_topology(
+    topology: Topology,
+    width: int = 60,
+    height: int = 24,
+    roles: Optional[Dict[int, str]] = None,
+    show_ids: bool = True,
+) -> str:
+    """Render node positions as an ASCII map.
+
+    Parameters
+    ----------
+    roles:
+        Node id -> single-character marker (e.g. ``{3: "X"}`` for a
+        malicious node).  Unlabelled nodes render as ``o`` (or their id
+        when ``show_ids`` and the id fits in one character).
+    """
+    if topology.node_count == 0:
+        return "(empty topology)"
+    xs = [p[0] for p in topology.positions.values()]
+    ys = [p[1] for p in topology.positions.values()]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    grid = [[" "] * width for _ in range(height)]
+    for node, (x, y) in sorted(topology.positions.items()):
+        column = int((x - min_x) / span_x * (width - 1))
+        row = int((y - min_y) / span_y * (height - 1))
+        if roles and node in roles:
+            marker = roles[node][0]
+        elif show_ids and node < 10:
+            marker = str(node)
+        else:
+            marker = "o"
+        grid[height - 1 - row][column] = marker
+
+    lines = ["+" + "-" * width + "+"]
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    legend = [
+        f"{topology.node_count} nodes, {topology.edge_count()} edges, "
+        f"range {topology.comm_range:g} m"
+    ]
+    if roles:
+        tags = ", ".join(f"{marker}={node}" for node, marker in sorted(roles.items()))
+        legend.append(f"roles: {tags}")
+    return "\n".join(lines + legend)
+
+
+def degree_histogram(topology: Topology, bar_width: int = 40) -> str:
+    """Text histogram of node degrees (connectivity sanity check)."""
+    from collections import Counter
+
+    counts = Counter(topology.degree(n) for n in topology.node_ids)
+    if not counts:
+        return "(empty topology)"
+    peak = max(counts.values())
+    lines = ["degree | nodes"]
+    for degree in range(min(counts), max(counts) + 1):
+        count = counts.get(degree, 0)
+        bar = "#" * int(round(count / peak * bar_width))
+        lines.append(f"{degree:6d} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,26 @@
+"""Exception types raised by the simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all kernel-level failures.
+
+    Raised for misuse of the kernel itself (scheduling into the past,
+    re-triggering an already-triggered event, running a stopped
+    simulator).  Protocol-level failures never use this type.
+    """
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class EventStateError(SimulationError):
+    """An event was triggered or cancelled in an incompatible state."""
+
+
+class StopProcess(Exception):
+    """Thrown into a process generator to terminate it early.
+
+    Processes may catch this to run clean-up code, but must re-raise or
+    return afterwards.
+    """

@@ -1,0 +1,290 @@
+"""Event heap and simulator core.
+
+The kernel is a classic discrete-event loop: a priority queue of
+:class:`Event` objects ordered by ``(time, priority, sequence)``.  The
+sequence number makes the order of same-time, same-priority events equal
+to their scheduling order, which keeps whole simulations reproducible
+from a single seed.
+
+Two scheduling styles are supported:
+
+* callback style — :meth:`Simulator.call_at` / :meth:`Simulator.call_in`
+  run a plain callable at a simulated time;
+* process style — :class:`repro.sim.process.Process` wraps a generator
+  that ``yield``\\ s events (usually :class:`Timeout`) and is resumed when
+  they trigger.
+
+Both styles are used by the protocol implementations: slot-driven block
+generation uses callbacks, while the PoP validator (which waits on
+replies with timeouts) is a process.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.sim.errors import EventStateError, SchedulingError, SimulationError
+
+#: Priority given to ordinary events.
+PRIORITY_NORMAL = 10
+#: Priority for bookkeeping events that must run before normal ones.
+PRIORITY_HIGH = 0
+#: Priority for events that must observe everything else at a time step.
+PRIORITY_LOW = 20
+
+
+class Event:
+    """A schedulable occurrence with callbacks.
+
+    An event moves through three states: *pending* (created, not yet
+    triggered), *triggered* (given a time and queued) and *processed*
+    (callbacks executed).  A callback receives the event itself and can
+    inspect :attr:`value`.
+
+    Events are also usable as one-shot futures: a process may ``yield``
+    an event and is resumed with :attr:`value` when it is processed.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed", "_cancelled")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._cancelled = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been placed on the event heap."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """Whether callbacks have already run."""
+        return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before processing."""
+        return self._cancelled
+
+    @property
+    def ok(self) -> bool:
+        """``False`` when the event carries a failure (see :meth:`fail`)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """Payload delivered to waiters; an exception instance if failed."""
+        return self._value
+
+    # -- state transitions -------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully after ``delay`` sim-time units."""
+        if self._triggered:
+            raise EventStateError("event already triggered")
+        self._value = value
+        self._ok = True
+        self.sim._enqueue(self.sim.now + delay, PRIORITY_NORMAL, self)
+        self._triggered = True
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as a failure carrying ``exception``.
+
+        A process waiting on the event will have the exception thrown
+        into it; callback listeners receive the event with ``ok`` False.
+        """
+        if self._triggered:
+            raise EventStateError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self.sim._enqueue(self.sim.now + delay, PRIORITY_NORMAL, self)
+        self._triggered = True
+        return self
+
+    def cancel(self) -> None:
+        """Prevent a triggered-but-unprocessed event from running.
+
+        Cancelling an already-processed event is an error; cancelling a
+        never-triggered event simply marks it so it can't be triggered.
+        """
+        if self._processed:
+            raise EventStateError("cannot cancel a processed event")
+        self._cancelled = True
+
+    # -- kernel hooks -------------------------------------------------------
+    def _process(self) -> None:
+        if self._cancelled:
+            return
+        self._processed = True
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "cancelled" if self._cancelled
+            else "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        return f"<{type(self).__name__} {state} value={self._value!r}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself ``delay`` units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        self._ok = True
+        sim._enqueue(sim.now + delay, PRIORITY_NORMAL, self)
+        self._triggered = True
+
+
+class Simulator:
+    """The discrete-event loop.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of :attr:`now`; the paper's evaluation uses
+        integer "time slots" starting at 0.
+
+    Notes
+    -----
+    The simulator makes a determinism guarantee: given the same sequence
+    of ``schedule``/``call_*`` invocations, events run in exactly the
+    same order, because ties are broken by a monotone sequence counter.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._processed_count = 0
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def processed_count(self) -> int:
+        """Total number of events processed since construction."""
+        return self._processed_count
+
+    # -- event creation -------------------------------------------------------
+    def event(self) -> Event:
+        """Create an untriggered :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` triggering ``delay`` from now."""
+        return Timeout(self, delay, value)
+
+    def call_at(self, time: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL) -> Event:
+        """Run ``fn`` (no arguments) at absolute simulated ``time``."""
+        if time < self._now:
+            raise SchedulingError(f"cannot schedule at {time} < now {self._now}")
+        event = Event(self)
+        event.callbacks.append(lambda _ev: fn())
+        event._ok = True
+        self._enqueue(time, priority, event)
+        event._triggered = True
+        return event
+
+    def call_in(self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL) -> Event:
+        """Run ``fn`` ``delay`` units from now."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay: {delay}")
+        return self.call_at(self._now + delay, fn, priority)
+
+    def process(self, generator) -> "Process":
+        """Start a generator as a :class:`repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- execution ---------------------------------------------------------
+    def _enqueue(self, time: float, priority: int, event: Event) -> None:
+        heapq.heappush(self._heap, (time, priority, next(self._sequence), event))
+
+    def peek(self) -> Optional[float]:
+        """Time of the next queued event, or ``None`` if the heap is empty."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Process the single next event.  Returns ``False`` if none remain."""
+        while self._heap:
+            time, _priority, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if time < self._now:
+                raise SimulationError("event heap corrupted: time moved backwards")
+            self._now = time
+            event._process()
+            self._processed_count += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or a budget hits.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event's time strictly exceeds
+            this value; :attr:`now` is then advanced to ``until``.
+        max_events:
+            Safety budget on the number of processed events — useful in
+            tests to catch livelocks.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    if until > self._now:
+                        self._now = float(until)
+                    break
+                if not self.step():
+                    break
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    raise SimulationError(f"max_events budget of {max_events} exhausted")
+            if until is not None and self._now < until:
+                self._now = float(until)
+        finally:
+            self._running = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator now={self._now} pending={self.pending_count}>"

@@ -1,0 +1,79 @@
+"""Structured event tracing.
+
+Protocols emit :class:`TraceRecord`\\ s through a :class:`Tracer`; tests
+and experiment runners subscribe to categories to observe behaviour
+without instrumenting protocol code.  Tracing is off by default and
+costs one predicate check per emit when disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the occurrence.
+    category:
+        Dotted category, e.g. ``"pop.req_child"`` or ``"block.generated"``.
+    node:
+        Identifier of the node the record concerns (or ``None``).
+    detail:
+        Free-form payload dictionary.
+    """
+
+    time: float
+    category: str
+    node: Optional[int] = None
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Collects and dispatches :class:`TraceRecord` objects.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default), :meth:`emit` is a no-op except for
+        registered live subscribers, and nothing is retained.
+    keep:
+        When ``True``, all emitted records are retained in
+        :attr:`records` for later inspection.
+    """
+
+    def __init__(self, enabled: bool = False, keep: bool = False) -> None:
+        self.enabled = enabled
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+
+    def subscribe(self, category_prefix: str, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``callback`` for records whose category has this prefix."""
+        self._subscribers.setdefault(category_prefix, []).append(callback)
+        self.enabled = True
+
+    def emit(self, time: float, category: str, node: Optional[int] = None, **detail: Any) -> None:
+        """Emit a record; cheap no-op when tracing is disabled."""
+        if not self.enabled:
+            return
+        record = TraceRecord(time=time, category=category, node=node, detail=detail)
+        if self.keep:
+            self.records.append(record)
+        for prefix, callbacks in self._subscribers.items():
+            if category.startswith(prefix):
+                for callback in callbacks:
+                    callback(record)
+
+    def by_category(self, category_prefix: str) -> List[TraceRecord]:
+        """All retained records whose category starts with the prefix."""
+        return [r for r in self.records if r.category.startswith(category_prefix)]
+
+    def clear(self) -> None:
+        """Drop all retained records."""
+        self.records.clear()

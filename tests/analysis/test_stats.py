@@ -1,0 +1,84 @@
+"""Unit tests for multi-seed statistics."""
+
+import pytest
+
+from repro.analysis.stats import (
+    aggregate_series,
+    compare_final_points,
+    repeat_experiment,
+    t_critical_95,
+)
+
+
+class TestAggregate:
+    def test_mean_of_identical_runs(self):
+        stats = aggregate_series([[1, 2, 3], [1, 2, 3]])
+        assert stats.mean == [1, 2, 3]
+        assert stats.std == [0, 0, 0]
+        assert stats.ci_half_width == [0, 0, 0]
+
+    def test_mean_and_std(self):
+        stats = aggregate_series([[0, 10], [2, 20], [4, 30]])
+        assert stats.mean == [2, 20]
+        assert stats.std[0] == pytest.approx(2.0)
+        assert stats.std[1] == pytest.approx(10.0)
+
+    def test_ci_uses_t_distribution(self):
+        stats = aggregate_series([[0], [2], [4]])
+        expected = t_critical_95(2) * 2.0 / (3 ** 0.5)
+        assert stats.ci_half_width[0] == pytest.approx(expected)
+
+    def test_bounds(self):
+        stats = aggregate_series([[0], [4]])
+        assert stats.lower()[0] == pytest.approx(stats.mean[0] - stats.ci_half_width[0])
+        assert stats.upper()[0] == pytest.approx(stats.mean[0] + stats.ci_half_width[0])
+
+    def test_single_run_zero_interval(self):
+        stats = aggregate_series([[5, 6]])
+        assert stats.ci_half_width == [0.0, 0.0]
+        assert stats.runs == 1
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_series([[1, 2], [1]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_series([])
+
+    def test_t_critical_fallback(self):
+        assert t_critical_95(100) == 1.96
+        with pytest.raises(ValueError):
+            t_critical_95(0)
+
+
+class TestRepeat:
+    def test_runs_callable_per_seed(self):
+        calls = []
+
+        def run(seed):
+            calls.append(seed)
+            return [seed, seed * 2]
+
+        stats = repeat_experiment(run, [1, 2, 3])
+        assert calls == [1, 2, 3]
+        assert stats.mean == [2, 4]
+
+
+class TestWelch:
+    def test_separated_groups_large_t(self):
+        a = [[10.0], [10.1], [9.9]]
+        b = [[1.0], [1.2], [0.8]]
+        result = compare_final_points(a, b)
+        assert result["t"] > 10
+        assert result["mean_a"] == pytest.approx(10.0)
+        assert result["mean_b"] == pytest.approx(1.0)
+
+    def test_identical_groups_zero_t(self):
+        a = [[5.0], [5.0]]
+        b = [[5.0], [5.0]]
+        assert compare_final_points(a, b)["t"] == 0.0
+
+    def test_needs_two_runs_each(self):
+        with pytest.raises(ValueError):
+            compare_final_points([[1.0]], [[2.0], [3.0]])

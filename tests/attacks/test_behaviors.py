@@ -1,0 +1,94 @@
+"""Unit tests for adversarial behaviours against a live deployment."""
+
+import pytest
+
+from repro.attacks.behaviors import (
+    CorruptResponder,
+    EquivocatingResponder,
+    SelfishNode,
+    SilentResponder,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.pop.messages import KIND_REQ_CHILD, KIND_RPY_CHILD, ReqChild
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+
+
+@pytest.fixture
+def attack_config():
+    return ProtocolConfig(body_bits=8_000, gamma=2, reply_timeout=0.2)
+
+
+def deployment_with(behaviors, config, topology, seed=6):
+    deployment = TwoLayerDagNetwork(
+        config=config, topology=topology, seed=seed, behaviors=behaviors
+    )
+    workload = SlotSimulation(deployment, validate=False)
+    workload.run(8)
+    return deployment, workload
+
+
+def ask_for_child(deployment, asker, responder, digest, origin):
+    replies = []
+    iface = deployment.node(asker).interface
+    iface.on(KIND_RPY_CHILD, replies.append)
+    iface.send(
+        responder, KIND_REQ_CHILD, ReqChild(digest=digest, verifying_origin=origin), 256
+    )
+    deployment.sim.run()
+    return replies
+
+
+class TestSilent:
+    def test_silent_node_sends_no_reply(self, attack_config, grid9):
+        deployment, workload = deployment_with({4: SilentResponder()}, attack_config, grid9)
+        target = deployment.node(3).store.by_index(0)
+        replies = ask_for_child(
+            deployment, 0, 4, target.digest(), 3
+        )
+        assert replies == []
+
+    def test_silent_node_still_generates_blocks(self, attack_config, grid9):
+        deployment, workload = deployment_with({4: SilentResponder()}, attack_config, grid9)
+        assert len(deployment.node(4).store) == 8
+
+
+class TestCorrupt:
+    def test_corrupt_reply_fails_signature(self, attack_config, grid9):
+        deployment, workload = deployment_with({4: CorruptResponder()}, attack_config, grid9)
+        # Pick a digest node 4 *definitely* references: one from its own
+        # second block's Δ (generation-order races make guessing which
+        # neighbour block it embedded unreliable).
+        own_second = deployment.node(4).store.by_index(1).header
+        origin, digest = next(iter(own_second.digests.items()))
+        replies = ask_for_child(deployment, 0, 4, digest, origin)
+        assert len(replies) == 1
+        header = replies[0].payload.header
+        assert header is not None
+        public = deployment.registry.public_key(4)
+        assert not header.verify_signature(public)
+
+
+class TestEquivocating:
+    def test_equivocating_reply_fails_digest_check(self, attack_config, grid9):
+        deployment, workload = deployment_with(
+            {4: EquivocatingResponder()}, attack_config, grid9
+        )
+        neighbor_block = deployment.node(3).store.by_index(0)
+        digest = neighbor_block.digest()
+        replies = ask_for_child(deployment, 0, 4, digest, 3)
+        assert len(replies) == 1
+        header = replies[0].payload.header
+        # The returned header is authentic but wrong: Algorithm 3's
+        # GetDigest comparison exposes it.
+        assert header.digest_from(3) != digest
+
+
+class TestSelfish:
+    def test_selfish_node_silent_until_resumed(self, attack_config, grid9):
+        selfish = SelfishNode()
+        deployment, workload = deployment_with({4: selfish}, attack_config, grid9)
+        neighbor_block = deployment.node(3).store.by_index(0)
+        assert ask_for_child(deployment, 0, 4, neighbor_block.digest(), 3) == []
+        selfish.resume_cooperation()
+        replies = ask_for_child(deployment, 1, 4, neighbor_block.digest(), 3)
+        assert len(replies) == 1

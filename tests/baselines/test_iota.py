@@ -1,0 +1,164 @@
+"""Unit tests for the IOTA baseline: tangle, tip selection, gossip."""
+
+import random
+
+import pytest
+
+from repro.baselines.iota.node import IotaNetwork
+from repro.baselines.iota.tangle import Tangle, Transaction
+from repro.baselines.iota.tip_selection import select_tips_mcmc, select_tips_uniform
+from repro.net.topology import grid_topology
+
+
+def tx(issuer, index, parents=(), payload_bits=100):
+    return Transaction(
+        issuer=issuer,
+        index=index,
+        parents=tuple(parents),
+        payload_seed=f"{issuer}:{index}".encode(),
+        payload_bits=payload_bits,
+        timestamp=float(index),
+    )
+
+
+class TestTangle:
+    def test_add_and_lookup(self):
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        assert tangle.add(genesis)
+        assert genesis.digest().value in tangle
+        assert len(tangle) == 1
+
+    def test_duplicate_rejected(self):
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        tangle.add(genesis)
+        assert not tangle.add(genesis)
+
+    def test_tips_track_unapproved(self):
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        tangle.add(genesis)
+        assert tangle.tips() == [genesis.digest().value]
+        child = tx(1, 0, [genesis.digest().value])
+        tangle.add(child)
+        assert tangle.tips() == [child.digest().value]
+
+    def test_out_of_order_insertion(self):
+        """An approver arriving before its parent still links correctly."""
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        child = tx(1, 0, [genesis.digest().value])
+        tangle.add(child)
+        tangle.add(genesis)
+        assert tangle.approvers(genesis.digest().value) == [child.digest().value]
+        # Genesis is approved, so it must not be a tip.
+        assert genesis.digest().value not in tangle.tips()
+
+    def test_cumulative_weight(self):
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        a = tx(1, 0, [genesis.digest().value])
+        b = tx(2, 0, [genesis.digest().value])
+        c = tx(3, 0, [a.digest().value, b.digest().value])
+        for transaction in (genesis, a, b, c):
+            tangle.add(transaction)
+        assert tangle.cumulative_weight(genesis.digest().value) == 4
+        assert tangle.cumulative_weight(c.digest().value) == 1
+
+    def test_size_bits(self):
+        tangle = Tangle()
+        tangle.add(tx(0, 0, payload_bits=1000))
+        assert tangle.size_bits() == 1000 + 2 * 256 + 32 + 32 + 32 + 256
+
+
+class TestTipSelection:
+    def _tangle_with_tips(self):
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        tangle.add(genesis)
+        for issuer in range(1, 5):
+            tangle.add(tx(issuer, 0, [genesis.digest().value]))
+        return tangle
+
+    def test_uniform_selects_existing_tips(self):
+        tangle = self._tangle_with_tips()
+        rng = random.Random(0)
+        tips = select_tips_uniform(tangle, rng)
+        assert len(tips) == 2
+        assert set(tips) <= set(tangle.tips())
+
+    def test_uniform_single_tip_duplicates(self):
+        tangle = Tangle()
+        tangle.add(tx(0, 0))
+        tips = select_tips_uniform(tangle, random.Random(0))
+        assert len(tips) == 2
+        assert tips[0] == tips[1]
+
+    def test_uniform_empty_tangle(self):
+        assert select_tips_uniform(Tangle(), random.Random(0)) == []
+
+    def test_mcmc_reaches_tips(self):
+        tangle = self._tangle_with_tips()
+        tips = select_tips_mcmc(tangle, random.Random(0))
+        assert len(tips) == 2
+        for tip in tips:
+            assert tangle.approvers(tip) == []
+
+    def test_mcmc_prefers_heavy_branch(self):
+        """With a large alpha the walk must enter the heavy subtangle."""
+        tangle = Tangle()
+        genesis = tx(0, 0)
+        tangle.add(genesis)
+        heavy_root = tx(1, 0, [genesis.digest().value])
+        light_root = tx(2, 0, [genesis.digest().value])
+        tangle.add(heavy_root)
+        tangle.add(light_root)
+        previous = heavy_root
+        for i in range(10):  # long heavy chain
+            nxt = tx(3, i, [previous.digest().value])
+            tangle.add(nxt)
+            previous = nxt
+        rng = random.Random(0)
+        hits = select_tips_mcmc(tangle, rng, count=20, alpha=5.0)
+        heavy_tip = previous.digest().value
+        assert hits.count(heavy_tip) >= 15
+
+
+class TestGossip:
+    def test_all_nodes_converge(self):
+        network = IotaNetwork(topology=grid_topology(3, 3), payload_bits=800, seed=1)
+        network.run_slots(4)
+        assert network.tangles_consistent()
+        reference = list(network.nodes.values())[0].tangle
+        assert len(reference) == 4 * 9
+
+    def test_every_node_stores_full_tangle(self):
+        network = IotaNetwork(topology=grid_topology(2, 3), payload_bits=800, seed=1)
+        network.run_slots(3)
+        sizes = [n.storage_bits() for n in network.nodes.values()]
+        assert len(set(sizes)) == 1  # identical full replicas
+
+    def test_tangle_parents_resolve_after_settle(self):
+        network = IotaNetwork(topology=grid_topology(3, 3), payload_bits=800, seed=2)
+        network.run_slots(3)
+        for node in network.nodes.values():
+            assert node.tangle.is_consistent()
+
+    def test_mcmc_strategy_runs(self):
+        network = IotaNetwork(
+            topology=grid_topology(2, 2), payload_bits=800, seed=1,
+            tip_strategy="mcmc",
+        )
+        network.run_slots(3)
+        assert network.tangles_consistent()
+
+    def test_unknown_strategy_rejected(self):
+        from repro.baselines.iota.node import IotaNode
+        from repro.net.transport import Network
+        from repro.sim.kernel import Simulator
+
+        topology = grid_topology(2, 2)
+        network = Network(Simulator(), topology)
+        with pytest.raises(ValueError):
+            IotaNode(0, network, random.Random(0), tip_strategy="bogus")

@@ -1,0 +1,112 @@
+"""Unit tests for the PBFT baseline: chain, replica protocol, cluster."""
+
+import pytest
+
+from repro.baselines.pbft.chain import Blockchain, ChainBlock
+from repro.baselines.pbft.cluster import PbftCluster
+from repro.net.topology import grid_topology
+
+
+class TestChain:
+    def test_append_links_by_hash(self):
+        chain = Blockchain()
+        first = ChainBlock(0, 1, b"a", 100, previous=None)
+        chain.append(first)
+        second = ChainBlock(1, 2, b"b", 100, previous=first.digest())
+        chain.append(second)
+        assert chain.height == 2
+        assert chain.head is second
+
+    def test_sequence_gap_rejected(self):
+        chain = Blockchain()
+        with pytest.raises(ValueError):
+            chain.append(ChainBlock(3, 1, b"a", 100, previous=None))
+
+    def test_wrong_previous_hash_rejected(self):
+        chain = Blockchain()
+        chain.append(ChainBlock(0, 1, b"a", 100, previous=None))
+        bad = ChainBlock(1, 2, b"b", 100, previous=None)
+        with pytest.raises(ValueError):
+            chain.append(bad)
+
+    def test_size_bits_counts_payload_and_metadata(self):
+        chain = Blockchain()
+        chain.append(ChainBlock(0, 1, b"a", 1000, previous=None))
+        assert chain.size_bits() == 1000 + 640
+
+
+class TestNormalCase:
+    def test_all_replicas_commit_all_requests(self):
+        cluster = PbftCluster(topology=grid_topology(2, 2), payload_bits=4000, seed=1)
+        cluster.run_slots(4)
+        heights = [r.chain.height for r in cluster.replicas.values()]
+        assert heights == [16, 16, 16, 16]
+        assert cluster.chains_consistent()
+
+    def test_chains_identical_across_replicas(self):
+        cluster = PbftCluster(topology=grid_topology(2, 3), payload_bits=4000, seed=2)
+        cluster.run_slots(3)
+        replicas = list(cluster.replicas.values())
+        reference = replicas[0].chain
+        for replica in replicas[1:]:
+            assert replica.chain.height == reference.height
+            for sequence in range(reference.height):
+                assert (
+                    replica.chain.block_at(sequence).digest()
+                    == reference.block_at(sequence).digest()
+                )
+
+    def test_every_client_block_committed(self):
+        cluster = PbftCluster(topology=grid_topology(2, 2), payload_bits=4000, seed=3)
+        cluster.run_slots(2)
+        chain = list(cluster.replicas.values())[0].chain
+        proposers = [chain.block_at(s).proposer for s in range(chain.height)]
+        for node in cluster.node_ids:
+            assert proposers.count(node) == 2  # one per slot
+
+    def test_storage_grows_with_slots(self):
+        cluster = PbftCluster(topology=grid_topology(2, 2), payload_bits=4000, seed=1)
+        cluster.run_slots(2)
+        first = cluster.mean_storage_bits()
+        cluster.run_slots(2)
+        assert cluster.mean_storage_bits() > first
+
+    def test_traffic_includes_three_phases(self):
+        cluster = PbftCluster(topology=grid_topology(2, 2), payload_bits=4000, seed=1)
+        cluster.run_slots(1)
+        ledger = cluster.traffic
+        assert ledger.message_count("pbft.pre_prepare") > 0
+        assert ledger.message_count("pbft.prepare") > 0
+        assert ledger.message_count("pbft.commit") > 0
+
+
+class TestFaults:
+    def test_commits_despite_f_crashed_replicas(self):
+        """n=7 tolerates f=2 silent replicas (non-primary)."""
+        topology = grid_topology(1, 7)
+        cluster = PbftCluster(
+            topology=topology, payload_bits=4000, seed=1, crashed={5, 6}
+        )
+        cluster.run_slots(2, settle_time=8.0)
+        live_heights = [r.chain.height for r in cluster.live_replicas()]
+        # 5 live clients × 2 slots = 10 requests must commit.
+        assert all(h == 10 for h in live_heights)
+        assert cluster.chains_consistent()
+
+    def test_view_change_on_crashed_primary(self):
+        """With the view-0 primary silent, replicas elect a new one."""
+        topology = grid_topology(2, 2)
+        primary = sorted(topology.node_ids)[0]
+        cluster = PbftCluster(
+            topology=topology,
+            payload_bits=4000,
+            seed=1,
+            crashed={primary},
+            view_change_timeout=2.0,
+        )
+        cluster.run_slots(1, settle_time=20.0)
+        live = cluster.live_replicas()
+        assert all(r.view >= 1 for r in live)
+        # The three live clients' requests eventually commit.
+        assert cluster.min_height() == 3
+        assert cluster.chains_consistent()

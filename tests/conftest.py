@@ -1,0 +1,65 @@
+"""Shared fixtures: small deterministic deployments and topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.net.topology import explicit_topology, grid_topology
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    """Deterministic random streams (seed 0)."""
+    return RandomStreams(0)
+
+
+@pytest.fixture
+def small_config() -> ProtocolConfig:
+    """Tiny bodies and γ=2 — fast to simulate, easy to reason about."""
+    return ProtocolConfig(body_bits=8_000, gamma=2)
+
+
+@pytest.fixture
+def line_topology():
+    """A -- B -- C -- D line."""
+    return explicit_topology([(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def fig3_topology():
+    """The paper's Fig. 3 network: A-B, B-C, B-D, C-D (A=0 B=1 C=2 D=3)."""
+    return explicit_topology([(0, 1), (1, 2), (1, 3), (2, 3)])
+
+
+@pytest.fixture
+def grid9():
+    """3×3 grid (4-neighbour links)."""
+    return grid_topology(3, 3)
+
+
+@pytest.fixture
+def small_deployment(small_config, grid9) -> TwoLayerDagNetwork:
+    """A 9-node 2LDAG deployment with tiny blocks."""
+    return TwoLayerDagNetwork(config=small_config, topology=grid9, seed=11)
+
+
+@pytest.fixture
+def ran_deployment(small_deployment) -> TwoLayerDagNetwork:
+    """The small deployment after 20 slots with validation on."""
+    workload = SlotSimulation(
+        small_deployment, validate=True, validation_min_age_slots=9
+    )
+    workload.run(20)
+    workload.run_until_quiet()
+    small_deployment.workload = workload  # stash for tests that need it
+    return small_deployment

@@ -1,0 +1,60 @@
+"""CLI tests: argument parsing and command execution."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.nodes == 25
+        assert args.gamma == 8
+        assert not args.validate
+
+    def test_fig9_panel_choices(self):
+        args = build_parser().parse_args(["fig9", "--panel", "d"])
+        assert args.panel == "d"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9", "--panel", "z"])
+
+
+class TestCommands:
+    def test_simulate_prints_summary(self, capsys):
+        code = main([
+            "simulate", "--nodes", "9", "--slots", "6",
+            "--gamma", "2", "--body-mb", "0.01",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "blocks generated: 54" in out
+        assert "mean storage/node" in out
+
+    def test_simulate_with_validation(self, capsys):
+        code = main([
+            "simulate", "--nodes", "9", "--slots", "12",
+            "--gamma", "2", "--body-mb", "0.01", "--validate",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "validations:" in out
+
+    def test_verify_success(self, capsys):
+        code = main([
+            "verify", "--nodes", "9", "--slots", "12",
+            "--gamma", "2", "--body-mb", "0.01", "--target-slot", "0",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "SUCCESS" in out
+
+    def test_verify_missing_slot(self, capsys):
+        code = main([
+            "verify", "--nodes", "9", "--slots", "3",
+            "--gamma", "2", "--body-mb", "0.01", "--target-slot", "99",
+        ])
+        assert code == 1

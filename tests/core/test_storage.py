@@ -1,0 +1,85 @@
+"""Unit tests for the per-node block store."""
+
+import pytest
+
+from repro.core.block import BlockId, build_block, make_body
+from repro.core.config import ProtocolConfig
+from repro.core.storage import BlockStore
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def config():
+    return ProtocolConfig(body_bits=800, gamma=2)
+
+
+def own_block(config, index, digests=None):
+    return build_block(
+        origin=1, index=index, time=float(index),
+        body=make_body(1, index, config), digests=digests or {},
+        keypair=KeyPair.generate(1), config=config,
+    )
+
+
+class TestStore:
+    def test_append_and_latest(self, config):
+        store = BlockStore(owner=1)
+        assert store.latest is None
+        block = own_block(config, 0)
+        store.add(block)
+        assert store.latest is block
+        assert len(store) == 1
+
+    def test_rejects_foreign_blocks(self, config):
+        store = BlockStore(owner=2)
+        with pytest.raises(ValueError):
+            store.add(own_block(config, 0))
+
+    def test_rejects_index_gap(self, config):
+        store = BlockStore(owner=1)
+        with pytest.raises(ValueError):
+            store.add(own_block(config, 5))
+
+    def test_get_by_id(self, config):
+        store = BlockStore(owner=1)
+        block = own_block(config, 0)
+        store.add(block)
+        assert store.get(BlockId(1, 0)) is block
+        assert store.get(BlockId(1, 9)) is None
+        assert store.get(BlockId(2, 0)) is None
+
+    def test_size_accounts_all_blocks(self, config):
+        store = BlockStore(owner=1)
+        blocks = []
+        previous = None
+        for index in range(3):
+            digests = {1: previous.digest()} if previous else {}
+            block = own_block(config, index, digests)
+            store.add(block)
+            blocks.append(block)
+            previous = block
+        assert store.size_bits(config) == sum(b.size_bits(config) for b in blocks)
+
+
+class TestChildIndex:
+    def test_oldest_child_of(self, config):
+        store = BlockStore(owner=1)
+        target_digest = hash_bytes(b"target", config.hash_bits)
+        first = own_block(config, 0, {9: target_digest})
+        second = own_block(config, 1, {9: target_digest})
+        store.add(first)
+        store.add(second)
+        # Both reference the digest; Eq. (11) picks the oldest.
+        assert store.oldest_child_of(target_digest) is first
+
+    def test_no_child_returns_none(self, config):
+        store = BlockStore(owner=1)
+        store.add(own_block(config, 0))
+        assert store.oldest_child_of(hash_bytes(b"nothing", config.hash_bits)) is None
+
+    def test_iteration_order(self, config):
+        store = BlockStore(owner=1)
+        for index in range(3):
+            store.add(own_block(config, index))
+        assert [b.header.index for b in store] == [0, 1, 2]

@@ -1,0 +1,112 @@
+"""Unit tests for the wire format."""
+
+import pytest
+
+from repro.core.block import build_block, make_body
+from repro.core.config import ProtocolConfig
+from repro.core.wire import (
+    WireError,
+    decode_block,
+    decode_body,
+    decode_header,
+    encode_block,
+    encode_body,
+    encode_header,
+)
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair
+
+
+@pytest.fixture
+def config():
+    return ProtocolConfig(body_bits=8_000, gamma=2)
+
+
+@pytest.fixture
+def block(config):
+    digests = {j: hash_bytes(f"d{j}".encode()) for j in (2, 5, 9)}
+    return build_block(
+        origin=1, index=7, time=42.125, body=make_body(1, 7, config),
+        digests=digests, keypair=KeyPair.generate(1), config=config,
+    )
+
+
+class TestRoundTrips:
+    def test_header_roundtrip(self, block):
+        encoded = encode_header(block.header)
+        decoded = decode_header(encoded)
+        assert decoded == block.header
+
+    def test_header_digest_preserved(self, block):
+        """The decoded header hashes identically — the property PoP
+        correctness rests on."""
+        decoded = decode_header(encode_header(block.header))
+        assert decoded.digest() == block.header.digest()
+
+    def test_header_signature_still_verifies(self, block):
+        decoded = decode_header(encode_header(block.header))
+        assert decoded.verify_signature(KeyPair.generate(1).public)
+
+    def test_body_roundtrip(self, block):
+        assert decode_body(encode_body(block.body)) == block.body
+
+    def test_block_roundtrip(self, block):
+        decoded = decode_block(encode_block(block))
+        assert decoded == block
+        assert decoded.verify_body_root()
+
+    def test_empty_digest_map(self, config):
+        genesis = build_block(
+            origin=3, index=0, time=0.0, body=make_body(3, 0, config),
+            digests={}, keypair=KeyPair.generate(3), config=config,
+        )
+        assert decode_header(encode_header(genesis.header)) == genesis.header
+
+    def test_encoding_deterministic(self, block):
+        assert encode_block(block) == encode_block(block)
+
+
+class TestStrictParsing:
+    def test_truncated_header_rejected(self, block):
+        encoded = encode_header(block.header)
+        with pytest.raises(WireError):
+            decode_header(encoded[:-3])
+
+    def test_trailing_bytes_rejected(self, block):
+        encoded = encode_header(block.header)
+        with pytest.raises(WireError):
+            decode_header(encoded + b"\x00")
+
+    def test_bad_magic_rejected(self, block):
+        encoded = encode_header(block.header)
+        with pytest.raises(WireError):
+            decode_header(b"XX" + encoded[2:])
+
+    def test_bad_version_rejected(self, block):
+        encoded = bytearray(encode_header(block.header))
+        encoded[2] = 99
+        with pytest.raises(WireError):
+            decode_header(bytes(encoded))
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(WireError):
+            decode_header(b"")
+
+    def test_body_magic_checked(self, block):
+        with pytest.raises(WireError):
+            decode_body(encode_header(block.header))
+
+    def test_block_inner_truncation_rejected(self, block):
+        encoded = bytearray(encode_block(block))
+        # Corrupt the inner header length to exceed available bytes.
+        encoded[3:7] = (2 ** 20).to_bytes(4, "big")
+        with pytest.raises(WireError):
+            decode_block(bytes(encoded))
+
+    def test_fuzzed_prefixes_never_crash_uncontrolled(self, block):
+        encoded = encode_block(block)
+        for cut in range(0, len(encoded), 7):
+            try:
+                decode_block(encoded[:cut])
+            except WireError:
+                pass  # the only acceptable failure mode

@@ -1,0 +1,67 @@
+"""Unit tests for digest primitives."""
+
+import pytest
+
+from repro.crypto.hashing import Digest, hash_bytes, hash_fields
+
+
+class TestDigest:
+    def test_width_must_be_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            Digest(b"\x00", bits=7)
+
+    def test_value_length_must_match_width(self):
+        with pytest.raises(ValueError):
+            Digest(b"\x00\x00", bits=256)
+
+    def test_hex_roundtrip(self):
+        digest = hash_bytes(b"hello")
+        assert bytes.fromhex(digest.hex()) == digest.value
+
+    def test_short_prefix(self):
+        digest = hash_bytes(b"hello")
+        assert digest.hex().startswith(digest.short(8))
+
+    def test_int_conversion(self):
+        digest = Digest(b"\x00" * 31 + b"\x05", bits=256)
+        assert int(digest) == 5
+
+    def test_leading_zero_bits_all_zero(self):
+        digest = Digest(b"\x00" * 32, bits=256)
+        assert digest.leading_zero_bits() == 256
+
+    def test_leading_zero_bits_partial(self):
+        digest = Digest(b"\x00\x10" + b"\x00" * 30, bits=256)
+        assert digest.leading_zero_bits() == 11
+
+    def test_leading_zero_bits_none(self):
+        digest = Digest(b"\xff" + b"\x00" * 31, bits=256)
+        assert digest.leading_zero_bits() == 0
+
+
+class TestHashing:
+    def test_deterministic(self):
+        assert hash_bytes(b"abc") == hash_bytes(b"abc")
+
+    def test_different_inputs_differ(self):
+        assert hash_bytes(b"abc") != hash_bytes(b"abd")
+
+    def test_truncation_width(self):
+        digest = hash_bytes(b"abc", bits=128)
+        assert digest.bits == 128
+        assert len(digest.value) == 16
+
+    def test_truncation_is_prefix(self):
+        full = hash_bytes(b"abc", bits=256)
+        short = hash_bytes(b"abc", bits=128)
+        assert full.value.startswith(short.value)
+
+    def test_field_framing_prevents_ambiguity(self):
+        """(b"ab", b"c") must not collide with (b"a", b"bc")."""
+        assert hash_fields([b"ab", b"c"]) != hash_fields([b"a", b"bc"])
+
+    def test_field_order_matters(self):
+        assert hash_fields([b"a", b"b"]) != hash_fields([b"b", b"a"])
+
+    def test_accepts_bytearray(self):
+        assert hash_bytes(bytearray(b"abc")) == hash_bytes(b"abc")

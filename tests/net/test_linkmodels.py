@@ -1,0 +1,131 @@
+"""Tests for pluggable latency and loss models."""
+
+import random
+
+import pytest
+
+from repro.net.linkmodels import (
+    bandwidth_latency,
+    constant_latency,
+    distance_proportional_latency,
+    install_latency_model,
+    random_loss_rule,
+)
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def network(line_topology):
+    return Network(Simulator(), line_topology, per_hop_latency=0.01)
+
+
+class TestLatencyModels:
+    def test_constant_model_matches_default(self, network, line_topology):
+        install_latency_model(network, constant_latency(0.01))
+        arrivals = []
+        network.attach(3).on("ping", lambda m: arrivals.append(network.sim.now))
+        network.attach(0).send(3, "ping", None, 10)
+        network.sim.run()
+        assert arrivals == [pytest.approx(0.03)]
+
+    def test_distance_model_scales_with_length(self, line_topology):
+        # Explicit topologies use unit spacing, so 3 hops = 3 m.
+        network = Network(Simulator(), line_topology)
+        install_latency_model(network, distance_proportional_latency(0.5))
+        arrivals = []
+        network.attach(3).on("ping", lambda m: arrivals.append(network.sim.now))
+        network.attach(0).send(3, "ping", None, 10)
+        network.sim.run()
+        assert arrivals == [pytest.approx(1.5)]
+
+    def test_bandwidth_model_scales_with_size(self, line_topology):
+        network = Network(Simulator(), line_topology)
+        install_latency_model(
+            network, bandwidth_latency(bits_per_second=1000), size_aware=True
+        )
+        arrivals = []
+        network.attach(1).on("big", lambda m: arrivals.append(network.sim.now))
+        network.attach(0).send(1, "big", None, 500)  # 0.5 s on 1 kbit/s
+        network.sim.run()
+        assert arrivals == [pytest.approx(0.5)]
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            bandwidth_latency(0)
+
+    def test_accounting_unchanged_by_model(self, line_topology):
+        network = Network(Simulator(), line_topology)
+        install_latency_model(network, distance_proportional_latency(0.1))
+        network.attach(3)
+        network.attach(0).send(3, "ping", None, 100)
+        network.sim.run()
+        assert network.ledger.tx_bits(0) == 100
+        assert network.ledger.tx_bits(1) == 100
+
+
+class TestLossModels:
+    def test_full_loss_drops_everything(self, network):
+        network.add_drop_rule(random_loss_rule(1.0))
+        received = []
+        network.attach(3).on("ping", received.append)
+        network.attach(0).send(3, "ping", None, 10)
+        network.sim.run()
+        assert received == []
+
+    def test_zero_loss_drops_nothing(self, network):
+        network.add_drop_rule(random_loss_rule(0.0))
+        received = []
+        network.attach(3).on("ping", received.append)
+        for _ in range(10):
+            network.attach(0).send(3, "ping", None, 10)
+        network.sim.run()
+        assert len(received) == 10
+
+    def test_loss_restricted_to_kinds(self, network):
+        network.add_drop_rule(random_loss_rule(1.0, kinds={"lossy"}))
+        received = []
+        network.attach(1).on("safe", received.append)
+        network.attach(1).on("lossy", received.append)
+        network.attach(0).send(1, "safe", None, 10)
+        network.attach(0).send(1, "lossy", None, 10)
+        network.sim.run()
+        assert [m.kind for m in received] == ["safe"]
+
+    def test_seeded_loss_reproducible(self, line_topology):
+        def run(seed):
+            network = Network(Simulator(), line_topology)
+            network.add_drop_rule(random_loss_rule(0.5, random.Random(seed)))
+            received = []
+            network.attach(3).on("ping", received.append)
+            for _ in range(30):
+                network.attach(0).send(3, "ping", None, 10)
+            network.sim.run()
+            return len(received)
+
+        assert run(7) == run(7)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            random_loss_rule(1.5)
+
+    def test_pop_survives_moderate_loss(self, small_deployment):
+        """Failure injection: PoP still converges under 10% frame loss
+        (timeouts + retries at other candidates absorb it)."""
+        from repro.core.protocol import SlotSimulation
+
+        workload = SlotSimulation(small_deployment, generation_period=1)
+        workload.run(12)
+        small_deployment.network.add_drop_rule(
+            random_loss_rule(0.1, random.Random(3), kinds={"req_child", "rpy_child"})
+        )
+        target = workload.blocks_by_slot[0][0]
+        validator = 8 if target.origin != 8 else 7
+        successes = 0
+        for _ in range(3):
+            process = small_deployment.node(validator).verify_block(
+                target.origin, target, fetch_body=False
+            )
+            small_deployment.sim.run()
+            successes += process.value.success
+        assert successes >= 2

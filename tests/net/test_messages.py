@@ -1,0 +1,29 @@
+"""Unit tests for the message envelope."""
+
+import pytest
+
+from repro.net.messages import Message
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        a = Message(0, 1, "k", None, 10)
+        b = Message(0, 1, "k", None, 10)
+        assert a.msg_id != b.msg_id
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message(0, 1, "k", None, -1)
+
+    def test_size_bytes(self):
+        assert Message(0, 1, "k", None, 80).size_bytes == 10.0
+
+    def test_reply_swaps_endpoints(self):
+        request = Message(3, 7, "ask", "q", 10)
+        reply = request.reply("answer", "a", 20)
+        assert reply.sender == 7
+        assert reply.recipient == 3
+        assert reply.in_reply_to == request.msg_id
+
+    def test_fresh_message_has_no_reply_marker(self):
+        assert Message(0, 1, "k", None, 10).in_reply_to is None

@@ -1,0 +1,96 @@
+"""Unit tests for topology generation."""
+
+import pytest
+
+from repro.net.topology import (
+    Topology,
+    explicit_topology,
+    grid_topology,
+    sequential_geometric_topology,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestSequentialPlacement:
+    def test_paper_configuration_is_connected(self):
+        topology = sequential_geometric_topology(
+            node_count=50, comm_range=50.0, streams=RandomStreams(0)
+        )
+        assert topology.node_count == 50
+        assert topology.is_connected()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_connected_for_many_seeds(self, seed):
+        topology = sequential_geometric_topology(
+            node_count=30, streams=RandomStreams(seed)
+        )
+        assert topology.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = sequential_geometric_topology(node_count=20, streams=RandomStreams(9))
+        b = sequential_geometric_topology(node_count=20, streams=RandomStreams(9))
+        assert a.positions == b.positions
+        assert a.adjacency == b.adjacency
+
+    def test_positions_inside_area(self):
+        topology = sequential_geometric_topology(
+            node_count=40, area_side=500.0, streams=RandomStreams(3)
+        )
+        for x, y in topology.positions.values():
+            assert 0.0 <= x <= 500.0
+            assert 0.0 <= y <= 500.0
+
+    def test_adjacency_respects_range(self):
+        topology = sequential_geometric_topology(node_count=25, streams=RandomStreams(4))
+        for a in topology.node_ids:
+            for b in topology.neighbors(a):
+                assert topology.distance(a, b) <= topology.comm_range
+
+    def test_adjacency_symmetric(self):
+        topology = sequential_geometric_topology(node_count=25, streams=RandomStreams(4))
+        for a in topology.node_ids:
+            for b in topology.neighbors(a):
+                assert a in topology.neighbors(b)
+
+    def test_invalid_node_count(self):
+        with pytest.raises(ValueError):
+            sequential_geometric_topology(node_count=0)
+
+
+class TestGridAndExplicit:
+    def test_grid_inner_node_has_four_neighbors(self):
+        grid = grid_topology(3, 3)
+        assert grid.degree(4) == 4  # centre of a 3x3 grid
+
+    def test_grid_corner_has_two_neighbors(self):
+        grid = grid_topology(3, 3)
+        assert grid.degree(0) == 2
+
+    def test_explicit_edges(self, fig3_topology):
+        assert fig3_topology.neighbors(0) == frozenset({1})
+        assert fig3_topology.neighbors(1) == frozenset({0, 2, 3})
+        assert fig3_topology.edge_count() == 4
+
+    def test_explicit_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            explicit_topology([(1, 1)])
+
+
+class TestQueries:
+    def test_subgraph_without_removes_nodes_and_edges(self, grid9):
+        reduced = grid9.subgraph_without({4})  # remove the centre
+        assert 4 not in reduced.positions
+        assert all(4 not in reduced.neighbors(n) for n in reduced.node_ids)
+
+    def test_subgraph_can_disconnect(self, line_topology):
+        reduced = line_topology.subgraph_without({1})
+        assert not reduced.is_connected()
+
+    def test_edges_listed_once(self, grid9):
+        edges = list(grid9.edges())
+        assert len(edges) == len(set(edges))
+        assert all(a < b for a, b in edges)
+
+    def test_empty_topology_is_connected(self):
+        empty = Topology(positions={}, adjacency={}, comm_range=1.0)
+        assert empty.is_connected()

@@ -1,0 +1,171 @@
+"""Unit tests for the message transport and byte accounting."""
+
+import pytest
+
+from repro.metrics.collector import TrafficLedger
+from repro.net.transport import Network
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def network(line_topology):
+    sim = Simulator()
+    return Network(sim, line_topology, ledger=TrafficLedger(), per_hop_latency=0.01)
+
+
+class TestDelivery:
+    def test_unicast_reaches_handler(self, network):
+        received = []
+        network.attach(3).on("ping", received.append)
+        network.attach(0).send(3, "ping", "hello", size_bits=100)
+        network.sim.run()
+        assert len(received) == 1
+        assert received[0].payload == "hello"
+        assert received[0].sender == 0
+
+    def test_latency_scales_with_hops(self, network):
+        times = []
+        network.attach(3).on("ping", lambda m: times.append(network.sim.now))
+        network.attach(1).on("ping", lambda m: times.append(network.sim.now))
+        source = network.attach(0)
+        source.send(3, "ping", None, 10)  # 3 hops
+        source.send(1, "ping", None, 10)  # 1 hop
+        network.sim.run()
+        assert times == [pytest.approx(0.01), pytest.approx(0.03)]
+
+    def test_loopback_delivers_without_traffic(self, network):
+        received = []
+        iface = network.attach(2)
+        iface.on("self", received.append)
+        iface.send(2, "self", "me", 100)
+        network.sim.run()
+        assert len(received) == 1
+        assert network.ledger.tx_bits(2) == 0
+
+    def test_default_handler_catches_unknown_kinds(self, network):
+        received = []
+        network.attach(1).on_any(received.append)
+        network.attach(0).send(1, "mystery", None, 10)
+        network.sim.run()
+        assert len(received) == 1
+
+    def test_unknown_kind_without_handler_is_dropped(self, network):
+        network.attach(1)
+        network.attach(0).send(1, "mystery", None, 10)
+        network.sim.run()  # must not raise
+
+
+class TestAccounting:
+    def test_every_hop_charged(self, network):
+        network.attach(3)
+        network.attach(0).send(3, "data", None, size_bits=1000)
+        network.sim.run()
+        ledger = network.ledger
+        # Route 0-1-2-3: nodes 0,1,2 transmit; 1,2,3 receive.
+        for transmitter in (0, 1, 2):
+            assert ledger.tx_bits(transmitter) == 1000
+        for receiver in (1, 2, 3):
+            assert ledger.rx_bits(receiver) == 1000
+        assert ledger.tx_bits(3) == 0
+        assert ledger.rx_bits(0) == 0
+
+    def test_category_mapping(self, line_topology):
+        sim = Simulator()
+        network = Network(
+            sim, line_topology,
+            category_fn=lambda kind: "ctrl" if kind.startswith("c.") else "data",
+        )
+        network.attach(1)
+        network.attach(0).send(1, "c.ping", None, 10)
+        network.attach(0).send(1, "blob", None, 20)
+        sim.run()
+        assert network.ledger.tx_bits(0, ["ctrl"]) == 10
+        assert network.ledger.tx_bits(0, ["data"]) == 20
+
+    def test_message_count(self, network):
+        network.attach(1)
+        for _ in range(3):
+            network.attach(0).send(1, "ping", None, 10)
+        network.sim.run()
+        assert network.ledger.message_count("ping") == 3
+
+
+class TestBroadcast:
+    def test_neighbor_broadcast_hits_all_neighbors(self, grid9):
+        sim = Simulator()
+        network = Network(sim, grid9)
+        received = []
+        for node in grid9.node_ids:
+            iface = network.attach(node)
+            iface.on("digest", lambda m, n=node: received.append(n))
+        network.interface(4).broadcast_neighbors("digest", None, 256)
+        sim.run()
+        assert sorted(received) == sorted(grid9.neighbors(4))
+
+    def test_broadcast_charges_per_neighbor(self, grid9):
+        sim = Simulator()
+        network = Network(sim, grid9)
+        for node in grid9.node_ids:
+            network.attach(node)
+        network.interface(4).broadcast_neighbors("digest", None, 256)
+        sim.run()
+        assert network.ledger.tx_bits(4) == 256 * len(grid9.neighbors(4))
+
+
+class TestRequestReply:
+    def test_reply_resolves_request(self, network):
+        responder = network.attach(3)
+        responder.on("ask", lambda m: responder.reply(m, "answer", m.payload * 2, 50))
+        waiter = network.attach(0).request(3, "ask", 21, 10, timeout=1.0)
+        network.sim.run()
+        assert waiter.value.payload == 42
+
+    def test_timeout_yields_none(self, network):
+        network.attach(3)  # no handler: silent
+        waiter = network.attach(0).request(3, "ask", None, 10, timeout=0.5)
+        network.sim.run()
+        assert waiter.processed
+        assert waiter.value is None
+
+    def test_late_reply_after_timeout_is_ignored(self, network):
+        responder = network.attach(3)
+
+        def slow_answer(message):
+            network.sim.call_in(2.0, lambda: responder.reply(message, "late", None, 10))
+
+        responder.on("ask", slow_answer)
+        waiter = network.attach(0).request(3, "ask", None, 10, timeout=0.5)
+        network.sim.run()
+        assert waiter.value is None  # timeout won; late reply dropped
+
+
+class TestDropRules:
+    def test_drop_rule_eats_message(self, network):
+        received = []
+        network.attach(3).on("ping", received.append)
+        network.add_drop_rule(lambda m, a, b: (a, b) == (1, 2))
+        network.attach(0).send(3, "ping", None, 100)
+        network.sim.run()
+        assert received == []
+
+    def test_traffic_before_drop_still_charged(self, network):
+        network.attach(3)
+        network.add_drop_rule(lambda m, a, b: (a, b) == (1, 2))
+        network.attach(0).send(3, "ping", None, 100)
+        network.sim.run()
+        assert network.ledger.tx_bits(0) == 100
+        assert network.ledger.tx_bits(1) == 100
+        assert network.ledger.rx_bits(2) == 0
+
+    def test_clear_drop_rules(self, network):
+        received = []
+        network.attach(3).on("ping", received.append)
+        network.add_drop_rule(lambda m, a, b: True)
+        network.clear_drop_rules()
+        network.attach(0).send(3, "ping", None, 100)
+        network.sim.run()
+        assert len(received) == 1
+
+    def test_attach_unknown_node_raises(self, network):
+        with pytest.raises(KeyError):
+            network.attach(99)

@@ -1,0 +1,53 @@
+"""Tests for topology visualization."""
+
+from repro.net.topology import Topology, grid_topology, sequential_geometric_topology
+from repro.net.visualize import degree_histogram, render_topology
+from repro.sim.rng import RandomStreams
+
+
+class TestRenderTopology:
+    def test_contains_all_single_digit_ids(self):
+        art = render_topology(grid_topology(3, 3))
+        for node in range(9):
+            assert str(node) in art
+
+    def test_roles_override_markers(self):
+        art = render_topology(grid_topology(2, 2), roles={0: "X"})
+        assert "X" in art
+        assert "roles:" in art
+
+    def test_legend_counts(self):
+        art = render_topology(grid_topology(3, 3))
+        assert "9 nodes, 12 edges" in art
+
+    def test_empty_topology(self):
+        empty = Topology(positions={}, adjacency={}, comm_range=1.0)
+        assert "empty" in render_topology(empty)
+
+    def test_geometric_topology_renders(self):
+        topology = sequential_geometric_topology(
+            node_count=30, streams=RandomStreams(4)
+        )
+        art = render_topology(topology, show_ids=False)
+        grid_lines = [l for l in art.splitlines() if l.startswith("|")]
+        markers = sum(l.count("o") for l in grid_lines)
+        assert 1 <= markers <= 30  # overlaps may merge nodes
+        assert "30 nodes" in art
+
+    def test_dimensions_respected(self):
+        art = render_topology(grid_topology(2, 2), width=30, height=10)
+        lines = art.splitlines()
+        assert len(lines[0]) == 32  # width + borders
+        assert len([l for l in lines if l.startswith("|")]) == 10
+
+
+class TestDegreeHistogram:
+    def test_grid_degrees(self):
+        hist = degree_histogram(grid_topology(3, 3))
+        assert "degree | nodes" in hist
+        assert "     2 |" in hist  # corners
+        assert "     4 |" in hist  # centre
+
+    def test_empty(self):
+        empty = Topology(positions={}, adjacency={}, comm_range=1.0)
+        assert "empty" in degree_histogram(empty)

@@ -1,0 +1,69 @@
+"""Tests for batch verification."""
+
+import pytest
+
+from repro.core.pop.batch import BatchReport, verify_batch
+from repro.core.protocol import SlotSimulation
+
+
+@pytest.fixture
+def grown(small_deployment):
+    workload = SlotSimulation(small_deployment, generation_period=1)
+    workload.run(14)
+    return small_deployment, workload
+
+
+class TestBatch:
+    def _targets(self, workload, validator_id, count):
+        return [
+            (b.origin, b)
+            for s in range(4)
+            for b in workload.blocks_by_slot[s]
+            if b.origin != validator_id
+        ][:count]
+
+    def test_batch_verifies_all(self, grown):
+        deployment, workload = grown
+        targets = self._targets(workload, 8, 6)
+        process = deployment.sim.process(
+            verify_batch(deployment.node(8).validator(), targets)
+        )
+        deployment.sim.run()
+        report = process.value
+        assert report.total == 6
+        assert report.success_rate == 1.0
+        assert report.failed_blocks() == []
+
+    def test_cache_amortisation_visible(self, grown):
+        """Later verifications in a batch cost fewer messages."""
+        deployment, workload = grown
+        targets = self._targets(workload, 8, 8)
+        process = deployment.sim.process(
+            verify_batch(deployment.node(8).validator(), targets)
+        )
+        deployment.sim.run()
+        report = process.value
+        costs = report.messages_per_verification()
+        assert costs[0] >= costs[-1]
+        assert report.total_cache_hits > 0
+
+    def test_aggregate_counts(self, grown):
+        deployment, workload = grown
+        targets = self._targets(workload, 8, 4)
+        process = deployment.sim.process(
+            verify_batch(deployment.node(8).validator(), targets)
+        )
+        deployment.sim.run()
+        report = process.value
+        assert report.total_messages == sum(report.messages_per_verification())
+        assert report.successes == 4
+
+    def test_empty_batch(self, grown):
+        deployment, _ = grown
+        process = deployment.sim.process(
+            verify_batch(deployment.node(8).validator(), [])
+        )
+        deployment.sim.run()
+        report = process.value
+        assert report.total == 0
+        assert report.success_rate == 0.0

@@ -1,0 +1,209 @@
+"""Unit tests for the PoP validator (Algorithm 3)."""
+
+import pytest
+
+from repro.attacks.behaviors import CorruptResponder, EquivocatingResponder, SilentResponder
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.net.topology import explicit_topology, grid_topology
+
+
+def run_validation(deployment, validator_id, verifier_id, block_id=None, **kwargs):
+    """Drive one PoP run to completion and return the outcome."""
+    node = deployment.node(validator_id)
+    process = deployment.sim.process(
+        node.validator().run(verifier_id, block_id, **kwargs)
+    )
+    deployment.sim.run()
+    return process.value
+
+
+def grow_dag(deployment, slots, jitter=0.0):
+    workload = SlotSimulation(
+        deployment, validate=False, intra_slot_jitter=jitter
+    )
+    workload.run(slots)
+    return workload
+
+
+class TestSuccess:
+    def test_reaches_consensus_on_old_block(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        workload = grow_dag(deployment, 10)
+        target = workload.blocks_by_slot[0][0]
+        outcome = run_validation(deployment, 8, target.origin, target)
+        assert outcome.success
+        assert len(outcome.consensus_set) >= small_config.consensus_quorum()
+        assert outcome.path[0].block_id == target
+
+    def test_path_is_connected_chain_of_children(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        workload = grow_dag(deployment, 10)
+        target = workload.blocks_by_slot[0][0]
+        outcome = run_validation(deployment, 8, target.origin, target)
+        hash_bits = small_config.hash_bits
+        for parent, child in zip(outcome.path, outcome.path[1:]):
+            assert child.references(parent.digest(hash_bits))
+
+    def test_verify_latest_block_without_id(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        grow_dag(deployment, 10)
+        # The latest block has no descendants yet; consensus on it can
+        # only come from blocks generated later — so expect failure now,
+        # then success after more slots. Here we just check the fetch path.
+        outcome = run_validation(deployment, 8, 0, None)
+        assert outcome.error in (None, "exhausted")
+
+    def test_cold_cache_meets_prop4_lower_bound(self, grid9):
+        config = ProtocolConfig(body_bits=8_000, gamma=2)
+        deployment = TwoLayerDagNetwork(config=config, topology=grid9, seed=3)
+        workload = grow_dag(deployment, 8)
+        target = workload.blocks_by_slot[0][0]
+        validator_node = deployment.node(8)
+        validator_node.cache = type(validator_node.cache)(config.hash_bits)  # wipe H_i
+        outcome = run_validation(deployment, 8, target.origin, target, use_tps=False) \
+            if False else run_validation(deployment, 8, target.origin, target)
+        assert outcome.success
+        # Proposition 4: ≥ 2(γ+1) messages when H_i is empty.
+        assert outcome.message_total >= 2 * (config.gamma + 1)
+
+    def test_successful_path_populates_cache(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        workload = grow_dag(deployment, 10)
+        target = workload.blocks_by_slot[0][0]
+        validator_node = deployment.node(8)
+        before = len(validator_node.cache)
+        outcome = run_validation(deployment, 8, target.origin, target)
+        assert outcome.success
+        assert len(validator_node.cache) >= before
+        for header in outcome.path:
+            assert validator_node.cache.get(header.block_id) is not None
+
+    def test_second_validation_uses_tps(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        workload = grow_dag(deployment, 10)
+        target = workload.blocks_by_slot[0][0]
+        first = run_validation(deployment, 8, target.origin, target)
+        second = run_validation(deployment, 8, target.origin, target)
+        assert first.success and second.success
+        assert second.requests_sent < first.requests_sent
+        assert second.tps_steps > 0
+
+
+class TestFailureModes:
+    def test_silent_verifier_times_out(self, small_config, grid9):
+        behaviors = {0: SilentResponder()}
+        deployment = TwoLayerDagNetwork(
+            config=small_config, topology=grid9, seed=1, behaviors=behaviors
+        )
+        grow_dag(deployment, 5)
+        outcome = run_validation(deployment, 8, 0, None)
+        assert not outcome.success
+        assert outcome.error == "verifier-timeout"
+
+    def test_young_block_cannot_reach_consensus(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        workload = grow_dag(deployment, 3)
+        # Verify the newest block: no descendants exist yet.
+        target = workload.blocks_by_slot[2][-1]
+        outcome = run_validation(deployment, 8, target.origin, target)
+        assert not outcome.success
+        assert outcome.error == "exhausted"
+
+    def test_unknown_block_id_fails(self, small_config, grid9):
+        from repro.core.block import BlockId
+
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        grow_dag(deployment, 3)
+        outcome = run_validation(deployment, 8, 0, BlockId(0, 999))
+        assert not outcome.success
+        assert outcome.error == "verifier-timeout"  # verifier has nothing to serve
+
+
+class TestAdversaries:
+    def test_routes_around_silent_responders(self):
+        """Fig. 5's scenario: the walk detours around silent nodes."""
+        config = ProtocolConfig(body_bits=8_000, gamma=3, reply_timeout=0.1)
+        grid = grid_topology(4, 4)
+        behaviors = {5: SilentResponder(), 6: SilentResponder()}
+        deployment = TwoLayerDagNetwork(
+            config=config, topology=grid, seed=2, behaviors=behaviors
+        )
+        workload = grow_dag(deployment, 12)
+        target = workload.blocks_by_slot[0][0]
+        if target.origin in behaviors:
+            target = next(
+                b for b in workload.blocks_by_slot[0] if b.origin not in behaviors
+            )
+        outcome = run_validation(deployment, 15, target.origin, target)
+        assert outcome.success
+        assert outcome.timeouts > 0 or all(
+            h.origin not in behaviors for h in outcome.path
+        )
+
+    def test_corrupt_replies_rejected_but_consensus_survives(self):
+        config = ProtocolConfig(body_bits=8_000, gamma=3, reply_timeout=0.1)
+        grid = grid_topology(4, 4)
+        behaviors = {5: CorruptResponder()}
+        deployment = TwoLayerDagNetwork(
+            config=config, topology=grid, seed=2, behaviors=behaviors
+        )
+        workload = grow_dag(deployment, 12)
+        target = next(
+            b for b in workload.blocks_by_slot[0] if b.origin not in behaviors
+        )
+        outcome = run_validation(deployment, 15, target.origin, target)
+        assert outcome.success
+        # No corrupted header may appear on the accepted path.
+        for header in outcome.path:
+            public = deployment.registry.public_key(header.origin)
+            assert header.verify_signature(public)
+
+    def test_equivocating_replies_rejected(self):
+        config = ProtocolConfig(body_bits=8_000, gamma=3, reply_timeout=0.1)
+        grid = grid_topology(4, 4)
+        behaviors = {5: EquivocatingResponder()}
+        deployment = TwoLayerDagNetwork(
+            config=config, topology=grid, seed=2, behaviors=behaviors
+        )
+        workload = grow_dag(deployment, 12)
+        target = next(
+            b for b in workload.blocks_by_slot[0] if b.origin not in behaviors
+        )
+        outcome = run_validation(deployment, 15, target.origin, target)
+        assert outcome.success
+        hash_bits = config.hash_bits
+        for parent, child in zip(outcome.path, outcome.path[1:]):
+            assert child.references(parent.digest(hash_bits))
+
+
+class TestAblations:
+    def test_wps_disabled_still_correct(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=4)
+        workload = grow_dag(deployment, 10)
+        target = workload.blocks_by_slot[0][0]
+        node = deployment.node(8)
+        process = deployment.sim.process(
+            node.validator(use_wps=False).run(target.origin, target)
+        )
+        deployment.sim.run()
+        assert process.value.success
+
+    def test_tps_disabled_costs_more_messages(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=4)
+        workload = grow_dag(deployment, 10)
+        target = workload.blocks_by_slot[0][0]
+        node = deployment.node(8)
+
+        with_tps = deployment.sim.process(
+            node.validator(use_tps=True).run(target.origin, target)
+        )
+        deployment.sim.run()
+        without_tps = deployment.sim.process(
+            node.validator(use_tps=False).run(target.origin, target)
+        )
+        deployment.sim.run()
+        assert with_tps.value.success and without_tps.value.success
+        # The second run would be nearly free with TPS; without it, the
+        # validator must re-fetch headers over the network.
+        assert without_tps.value.requests_sent > 0

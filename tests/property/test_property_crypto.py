@@ -1,0 +1,75 @@
+"""Property-based tests for the crypto substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import hash_bytes, hash_fields
+from repro.crypto.keys import KeyPair
+from repro.crypto.merkle import MerkleTree, verify_audit_path
+from repro.crypto.signature import sign, verify
+
+chunks_strategy = st.lists(st.binary(min_size=0, max_size=64), min_size=1, max_size=16)
+
+
+class TestHashingProperties:
+    @given(st.binary(max_size=256))
+    def test_hash_deterministic(self, data):
+        assert hash_bytes(data) == hash_bytes(data)
+
+    @given(st.binary(max_size=128), st.binary(max_size=128))
+    def test_distinct_inputs_distinct_hashes(self, a, b):
+        if a != b:
+            assert hash_bytes(a) != hash_bytes(b)
+
+    @given(st.lists(st.binary(max_size=32), min_size=1, max_size=8))
+    def test_field_framing_injective_on_splits(self, fields):
+        """Concatenating all fields into one must hash differently
+        (unless there is exactly one field)."""
+        joined = hash_fields([b"".join(fields)])
+        framed = hash_fields(fields)
+        if len(fields) > 1:
+            assert joined != framed
+
+
+class TestMerkleProperties:
+    @given(chunks_strategy)
+    @settings(max_examples=50)
+    def test_every_audit_path_verifies(self, chunks):
+        tree = MerkleTree(chunks)
+        for index, chunk in enumerate(chunks):
+            assert verify_audit_path(chunk, tree.audit_path(index), tree.root)
+
+    @given(chunks_strategy, st.integers(min_value=0, max_value=15))
+    @settings(max_examples=50)
+    def test_root_sensitive_to_any_chunk_change(self, chunks, position):
+        index = position % len(chunks)
+        mutated = list(chunks)
+        mutated[index] = mutated[index] + b"\x01"
+        assert MerkleTree(chunks).root != MerkleTree(mutated).root
+
+    @given(chunks_strategy)
+    @settings(max_examples=50)
+    def test_wrong_leaf_never_verifies(self, chunks):
+        tree = MerkleTree(chunks)
+        path = tree.audit_path(0)
+        forged = chunks[0] + b"\xff"
+        assert not verify_audit_path(forged, path, tree.root)
+
+
+class TestSignatureProperties:
+    @given(st.binary(max_size=256), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_sign_verify_roundtrip(self, message, owner):
+        pair = KeyPair.generate(owner)
+        assert verify(message, sign(message, pair), pair.public)
+
+    @given(
+        st.binary(max_size=128),
+        st.binary(min_size=1, max_size=128),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_modified_message_rejected(self, message, suffix, owner):
+        pair = KeyPair.generate(owner)
+        signature = sign(message, pair)
+        assert not verify(message + suffix, signature, pair.public)

@@ -1,0 +1,96 @@
+"""Property-based tests on DAG and protocol invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.net.topology import sequential_geometric_topology
+from repro.sim.rng import RandomStreams
+
+
+def build_and_run(seed, node_count, slots, period):
+    streams = RandomStreams(seed)
+    topology = sequential_geometric_topology(
+        node_count=node_count, area_side=300.0, comm_range=60.0, streams=streams
+    )
+    config = ProtocolConfig(body_bits=800, gamma=2)
+    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=seed)
+    workload = SlotSimulation(deployment, generation_period=period)
+    workload.run(slots)
+    return deployment, workload
+
+
+class TestDagInvariants:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        node_count=st.integers(min_value=3, max_value=10),
+        slots=st.integers(min_value=1, max_value=8),
+        period=st.sampled_from([1, 2, "random-1-2"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_logical_layer_always_acyclic(self, seed, node_count, slots, period):
+        deployment, _ = build_and_run(seed, node_count, slots, period)
+        assert deployment.dag.is_acyclic()
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        node_count=st.integers(min_value=3, max_value=10),
+        slots=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_block_stored_exactly_once(self, seed, node_count, slots):
+        deployment, workload = build_and_run(seed, node_count, slots, 1)
+        total_stored = sum(
+            len(deployment.node(n).store) for n in deployment.node_ids
+        )
+        assert total_stored == workload.total_blocks()
+        assert len(deployment.dag) == total_stored
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        node_count=st.integers(min_value=3, max_value=8),
+        slots=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_parents_precede_children_in_time(self, seed, node_count, slots):
+        deployment, _ = build_and_run(seed, node_count, slots, 1)
+        dag = deployment.dag
+        for block_id in dag.block_ids():
+            child_time = dag.header(block_id).time
+            for parent_id in dag.parents(block_id):
+                assert dag.header(parent_id).time <= child_time
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        node_count=st.integers(min_value=3, max_value=8),
+        slots=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_digest_edges_only_between_physical_neighbors_or_self(
+        self, seed, node_count, slots
+    ):
+        """Every DAG edge (b_x -> b_y) implies y's origin heard x's
+        origin: they are physical neighbours, or the same node."""
+        deployment, _ = build_and_run(seed, node_count, slots, 1)
+        dag = deployment.dag
+        topology = deployment.topology
+        for block_id in dag.block_ids():
+            for child_id in dag.children(block_id):
+                a, b = block_id.origin, child_id.origin
+                assert a == b or a in topology.neighbors(b)
+
+
+class TestStorageInvariant:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        slots=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_storage_below_full_replication(self, seed, slots):
+        """2LDAG nodes must always store (far) less than a full replica."""
+        deployment, workload = build_and_run(seed, 6, slots, 1)
+        config = deployment.config
+        full_replica_bits = workload.total_blocks() * config.block_bits(5)
+        for node_id in deployment.node_ids:
+            assert deployment.node(node_id).storage_bits() < full_replica_bits

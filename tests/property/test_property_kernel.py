@@ -1,0 +1,56 @@
+"""Property-based tests on the simulation kernel and CDF."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.cdf import EmpiricalCDF
+from repro.sim.kernel import Simulator
+
+
+class TestKernelProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        sim = Simulator()
+        fired = []
+        for t in times:
+            sim.call_at(t, lambda t=t: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_clock_never_goes_backwards(self, delays):
+        sim = Simulator()
+        observed = []
+
+        def chain(remaining):
+            observed.append(sim.now)
+            if remaining:
+                sim.call_in(remaining[0], lambda: chain(remaining[1:]))
+
+        chain(delays)
+        sim.run()
+        assert observed == sorted(observed)
+
+
+class TestCdfProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_cdf_monotone_and_bounded(self, samples):
+        cdf = EmpiricalCDF(samples)
+        points = [cdf(x) for x in sorted(samples)]
+        assert all(0.0 <= p <= 1.0 for p in points)
+        assert points == sorted(points)
+        assert cdf(cdf.max) == 1.0
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100)
+    def test_quantile_inverts_cdf(self, samples, level):
+        cdf = EmpiricalCDF(samples)
+        value = cdf.quantile(level)
+        assert cdf(value) >= level

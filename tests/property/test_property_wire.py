@@ -1,0 +1,72 @@
+"""Property-based tests for the wire codec."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.block import BlockBody, BlockHeader
+from repro.core.wire import WireError, decode_block, decode_body, decode_header, encode_body, encode_header
+from repro.crypto.hashing import Digest, hash_bytes
+
+
+digest_strategy = st.binary(min_size=32, max_size=32).map(lambda b: Digest(b, 256))
+
+header_strategy = st.builds(
+    BlockHeader,
+    origin=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    index=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    version=st.integers(min_value=0, max_value=2 ** 32 - 1),
+    time=st.integers(min_value=0, max_value=10 ** 9).map(lambda t: t / 1000.0),
+    root=digest_strategy,
+    digests=st.dictionaries(
+        st.integers(min_value=0, max_value=2 ** 32 - 1), digest_strategy, max_size=8
+    ),
+    nonce=st.integers(min_value=0, max_value=2 ** 64 - 1),
+    signature=st.binary(min_size=0, max_size=64),
+)
+
+body_strategy = st.builds(
+    BlockBody,
+    content_seed=st.binary(min_size=0, max_size=64),
+    size_bits=st.integers(min_value=0, max_value=2 ** 40),
+)
+
+
+class TestWireProperties:
+    @given(header_strategy)
+    @settings(max_examples=80)
+    def test_header_roundtrip(self, header):
+        assert decode_header(encode_header(header)) == header
+
+    @given(header_strategy)
+    @settings(max_examples=40)
+    def test_header_digest_preserved(self, header):
+        decoded = decode_header(encode_header(header))
+        assert decoded.digest() == header.digest()
+
+    @given(body_strategy)
+    @settings(max_examples=80)
+    def test_body_roundtrip(self, body):
+        assert decode_body(encode_body(body)) == body
+
+    @given(header_strategy, st.integers(min_value=0, max_value=200))
+    @settings(max_examples=60)
+    def test_truncation_always_raises_wire_error(self, header, cut):
+        encoded = encode_header(header)
+        if cut >= len(encoded):
+            return
+        try:
+            decode_header(encoded[:cut])
+        except WireError:
+            pass
+        else:
+            raise AssertionError("truncated input parsed successfully")
+
+    @given(header_strategy, st.binary(min_size=1, max_size=8))
+    @settings(max_examples=60)
+    def test_trailing_garbage_always_raises(self, header, garbage):
+        try:
+            decode_header(encode_header(header) + garbage)
+        except WireError:
+            pass
+        else:
+            raise AssertionError("trailing bytes accepted")

@@ -1,0 +1,46 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.tracing import Tracer
+
+
+class TestTracer:
+    def test_disabled_tracer_keeps_nothing(self):
+        tracer = Tracer(enabled=False, keep=True)
+        tracer.emit(1.0, "block.generated", node=3)
+        assert tracer.records == []
+
+    def test_enabled_keep_retains_records(self):
+        tracer = Tracer(enabled=True, keep=True)
+        tracer.emit(1.0, "block.generated", node=3, block="3#0")
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert record.time == 1.0
+        assert record.category == "block.generated"
+        assert record.node == 3
+        assert record.detail == {"block": "3#0"}
+
+    def test_subscribe_by_prefix(self):
+        tracer = Tracer()
+        seen = []
+        tracer.subscribe("pop.", seen.append)
+        tracer.emit(1.0, "pop.req_child", node=1)
+        tracer.emit(2.0, "block.generated", node=2)
+        assert [r.category for r in seen] == ["pop.req_child"]
+
+    def test_subscribe_enables_tracing(self):
+        tracer = Tracer(enabled=False)
+        tracer.subscribe("x", lambda r: None)
+        assert tracer.enabled
+
+    def test_by_category_filters(self):
+        tracer = Tracer(enabled=True, keep=True)
+        tracer.emit(1.0, "net.dropped")
+        tracer.emit(2.0, "net.unroutable")
+        tracer.emit(3.0, "pop.done")
+        assert len(tracer.by_category("net.")) == 2
+
+    def test_clear(self):
+        tracer = Tracer(enabled=True, keep=True)
+        tracer.emit(1.0, "a")
+        tracer.clear()
+        assert tracer.records == []
