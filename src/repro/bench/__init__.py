@@ -1,0 +1,34 @@
+"""Performance benchmark harness (``python -m repro bench``).
+
+Tracks the implementation's own speed across PRs: micro-benchmarks of
+the hot primitives (header encoding/hashing, WPS scoring, kernel event
+dispatch, DAG insertion) plus a medium :class:`SlotSimulation` workload
+whose wall-clock, events/sec and blocks/sec are the headline numbers.
+
+Results are written to ``BENCH_<rev>.json`` so the perf trajectory is
+visible in the repository history, and compared against a committed
+baseline (``benchmarks/baselines/BENCH_baseline.json``) — a tracked op
+regressing more than :data:`~repro.bench.runner.REGRESSION_FACTOR`
+makes the runner exit non-zero.
+
+The macro workload also emits a canonical SHA-256 *trace digest* (see
+:mod:`repro.bench.trace`): optimisations must keep seeded simulations
+bit-identical, and the digest makes "same behaviour, less time"
+checkable in one line.
+"""
+
+from repro.bench.runner import (
+    BenchResult,
+    compare_to_baseline,
+    default_output_name,
+    run_benchmarks,
+)
+from repro.bench.trace import slot_simulation_trace_digest
+
+__all__ = [
+    "BenchResult",
+    "compare_to_baseline",
+    "default_output_name",
+    "run_benchmarks",
+    "slot_simulation_trace_digest",
+]

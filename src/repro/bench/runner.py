@@ -1,0 +1,456 @@
+"""Benchmark runner: timed micro-ops plus the slot-simulation macro.
+
+Each micro-benchmark is a no-argument callable returning the number of
+operations it performed; the harness calibrates a repeat count, times
+several rounds and reports the *best* round (minimum is the standard
+estimator for single-process benchmarks — slower rounds measure
+interference, not the code).
+
+Op set (tracked across PRs — renaming one silently drops its
+regression coverage, so don't):
+
+``header_encode_warm``     canonical header encoding, caches warm
+``header_digest_cold``     header hash with identity caches cleared
+``header_digest_warm``     header hash, caches warm (the common case:
+                           every push/validate re-digests old headers)
+``header_references``      Δ membership test (child-of check)
+``header_verify_signature`` Eq. (6) check over the signing payload
+``wire_encode_header``     wire-format serialization
+``wps_select``             Algorithm 1 on a 50-node geometric topology
+``kernel_callbacks``       schedule+dispatch of one-shot callbacks
+``kernel_cancel_churn``    cancelled-event pops (lazy cancellation)
+``dag_insert_chain``       LogicalDag insertion of a 200-header chain
+``slot_sim``               the macro workload (wall seconds, events/s,
+                           blocks/s and a canonical trace digest)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+#: A tracked op slower than ``baseline * REGRESSION_FACTOR`` fails the run.
+REGRESSION_FACTOR = 2.0
+
+#: Every op the harness knows (the valid values for ``--only``).
+TRACKED_OPS = (
+    "header_encode_warm",
+    "header_digest_cold",
+    "header_digest_warm",
+    "header_references",
+    "header_verify_signature",
+    "wire_encode_header",
+    "wps_select",
+    "kernel_callbacks",
+    "kernel_cancel_churn",
+    "dag_insert_chain",
+    "slot_sim",
+)
+
+#: Repository-relative location of the committed regression baseline.
+BASELINE_RELPATH = os.path.join("benchmarks", "baselines", "BENCH_baseline.json")
+
+#: Cache attributes BlockHeader memoises on first use (cleared by the
+#: cold-path benchmarks; absent attributes are ignored, so this list
+#: also works against builds without identity caching).
+_HEADER_CACHE_ATTRS = (
+    "_hdr_signing_payload",
+    "_hdr_encoded",
+    "_hdr_digest_by_bits",
+    "_hdr_ref_values",
+    "_hdr_wire",
+)
+
+
+@dataclass
+class BenchResult:
+    """One benchmark's outcome."""
+
+    name: str
+    ns_per_op: float
+    ops_per_sec: float
+    iterations: int
+    rounds: int
+    metrics: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "ns_per_op": self.ns_per_op,
+            "ops_per_sec": self.ops_per_sec,
+            "iterations": self.iterations,
+            "rounds": self.rounds,
+            "metrics": self.metrics,
+        }
+
+
+def _time_op(
+    name: str,
+    op: Callable[[], int],
+    min_round_time: float,
+    rounds: int,
+) -> BenchResult:
+    """Time ``op`` (which returns its op count) over several rounds."""
+    # Calibrate: repeat the op within a round until a round is long
+    # enough for the clock to resolve it meaningfully.
+    ops_per_call = max(1, op())
+    repeats = 1
+    start = time.perf_counter()
+    op()
+    single = max(time.perf_counter() - start, 1e-9)
+    while single * repeats < min_round_time:
+        repeats *= 2
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            op()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    total_ops = ops_per_call * repeats
+    ns_per_op = best * 1e9 / total_ops
+    return BenchResult(
+        name=name,
+        ns_per_op=ns_per_op,
+        ops_per_sec=1e9 / ns_per_op if ns_per_op > 0 else 0.0,
+        iterations=total_ops,
+        rounds=rounds,
+    )
+
+
+def _clear_header_caches(header) -> None:
+    """Drop memoised identity state so the next digest() is cold."""
+    for attr in _HEADER_CACHE_ATTRS:
+        header.__dict__.pop(attr, None)
+
+
+# -- fixture construction ----------------------------------------------------
+
+def _build_header_pool(count: int, digests_per_header: int):
+    from repro.core.block import build_block, make_body
+    from repro.core.config import ProtocolConfig
+    from repro.crypto.hashing import hash_bytes
+    from repro.crypto.keys import KeyPair
+
+    config = ProtocolConfig(body_bits=80_000, gamma=8)
+    keypair = KeyPair.generate(1)
+    headers = []
+    for i in range(count):
+        digests = {
+            j: hash_bytes(f"d{i}:{j}".encode())
+            for j in range(digests_per_header)
+        }
+        block = build_block(
+            origin=1, index=i, time=float(i), body=make_body(1, i, config),
+            digests=digests, keypair=keypair, config=config,
+        )
+        headers.append(block.header)
+    return headers, keypair, config
+
+
+def _build_chain_headers(length: int):
+    from repro.core.block import build_block, make_body
+    from repro.core.config import ProtocolConfig
+    from repro.crypto.keys import KeyPair
+
+    config = ProtocolConfig(body_bits=80_000, gamma=8)
+    keypair = KeyPair.generate(1)
+    headers = []
+    previous = None
+    for i in range(length):
+        digests = {1: previous.digest()} if previous is not None else {}
+        block = build_block(
+            origin=1, index=i, time=float(i), body=make_body(1, i, config),
+            digests=digests, keypair=keypair, config=config,
+        )
+        headers.append(block.header)
+        previous = block
+    return headers
+
+
+# -- micro-benchmarks --------------------------------------------------------
+
+def _micro_benchmarks(
+    fast: bool, only: Optional[List[str]] = None
+) -> List[Tuple[str, Callable[[], int]]]:
+    """The micro op list; fixtures are built only for ops in ``only``.
+
+    Building the header pool and chain means puzzle-solving and signing
+    dozens of blocks, so a filtered run (``--only slot_sim``) must not
+    pay for fixtures no selected op uses.
+    """
+    import random
+
+    from repro.core import wire
+    from repro.core.dag import LogicalDag
+    from repro.core.pop.wps import weighted_path_selection
+    from repro.crypto.hashing import hash_bytes
+    from repro.net.topology import sequential_geometric_topology
+    from repro.sim.kernel import Simulator
+    from repro.sim.rng import RandomStreams
+
+    def wanted(*names: str) -> bool:
+        return not only or any(name in only for name in names)
+
+    benchmarks: List[Tuple[str, Callable[[], int]]] = []
+
+    if wanted(
+        "header_encode_warm", "header_digest_cold", "header_digest_warm",
+        "header_references", "header_verify_signature", "wire_encode_header",
+    ):
+        pool_size = 16 if fast else 64
+        headers, keypair, _config = _build_header_pool(pool_size, 8)
+        hit = next(iter(headers[0].digests.values()))
+        miss = hash_bytes(b"not-a-parent")
+
+        def header_encode_warm() -> int:
+            for header in headers:
+                header.encode()
+            return len(headers)
+
+        def header_digest_cold() -> int:
+            for header in headers:
+                _clear_header_caches(header)
+                header.digest()
+            return len(headers)
+
+        def header_digest_warm() -> int:
+            for header in headers:
+                header.digest()
+            return len(headers)
+
+        def header_references() -> int:
+            first = headers[0]
+            for header in headers:
+                first.references(hit)
+                header.references(miss)
+            return 2 * len(headers)
+
+        def header_verify_signature() -> int:
+            public = keypair.public
+            for header in headers:
+                header.verify_signature(public)
+            return len(headers)
+
+        def wire_encode_header() -> int:
+            for header in headers:
+                wire.encode_header(header)
+            return len(headers)
+
+        benchmarks += [
+            ("header_encode_warm", header_encode_warm),
+            ("header_digest_cold", header_digest_cold),
+            ("header_digest_warm", header_digest_warm),
+            ("header_references", header_references),
+            ("header_verify_signature", header_verify_signature),
+            ("wire_encode_header", wire_encode_header),
+        ]
+
+    if wanted("wps_select"):
+        topology = sequential_geometric_topology(
+            node_count=50, streams=RandomStreams(1)
+        )
+        wps_rng = random.Random(0)
+        node_ids = topology.node_ids
+        wps_cases = []
+        case_rng = random.Random(7)
+        for _ in range(8 if fast else 32):
+            node = case_rng.choice(node_ids)
+            candidates = sorted(topology.neighbors(node)) or [node_ids[0]]
+            consensus = set(case_rng.sample(node_ids, 10))
+            wps_cases.append((consensus, candidates))
+
+        def wps_select() -> int:
+            for consensus, candidates in wps_cases:
+                weighted_path_selection(consensus, candidates, topology, wps_rng)
+            return len(wps_cases)
+
+        benchmarks.append(("wps_select", wps_select))
+
+    if wanted("kernel_callbacks", "kernel_cancel_churn"):
+        kernel_events = 500 if fast else 5_000
+
+        def kernel_callbacks() -> int:
+            sim = Simulator()
+            fired = [0]
+
+            def tick() -> None:
+                fired[0] += 1
+
+            for i in range(kernel_events):
+                sim.call_at(float(i % 17), tick)
+            sim.run()
+            return kernel_events
+
+        def kernel_cancel_churn() -> int:
+            sim = Simulator()
+            handles = [sim.call_at(1.0, lambda: None) for _ in range(kernel_events)]
+            for handle in handles[::2]:
+                handle.cancel()
+            sim.run()
+            return kernel_events
+
+        benchmarks.append(("kernel_callbacks", kernel_callbacks))
+        benchmarks.append(("kernel_cancel_churn", kernel_cancel_churn))
+
+    if wanted("dag_insert_chain"):
+        chain = _build_chain_headers(50 if fast else 200)
+
+        def dag_insert_chain() -> int:
+            dag = LogicalDag()
+            for header in chain:
+                dag.add_header(header)
+            return len(chain)
+
+        benchmarks.append(("dag_insert_chain", dag_insert_chain))
+
+    return benchmarks
+
+
+# -- the macro workload -------------------------------------------------------
+
+def _run_slot_sim(fast: bool) -> BenchResult:
+    from repro.bench.trace import slot_simulation_trace_digest
+    from repro.core.config import ProtocolConfig
+    from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+    from repro.net.topology import sequential_geometric_topology
+    from repro.sim.rng import RandomStreams
+
+    nodes = 12 if fast else 20
+    slots = 25 if fast else 100
+    gamma = 3 if fast else 4
+
+    streams = RandomStreams(7)
+    topology = sequential_geometric_topology(node_count=nodes, streams=streams)
+    config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.1)
+    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=7)
+    workload = SlotSimulation(deployment, generation_period=1, validate=True)
+
+    start = time.perf_counter()
+    workload.run(slots)
+    workload.run_until_quiet()
+    wall = time.perf_counter() - start
+
+    events = deployment.sim.processed_count
+    blocks = workload.total_blocks()
+    result = BenchResult(
+        name="slot_sim",
+        ns_per_op=wall * 1e9 / max(events, 1),
+        ops_per_sec=events / wall if wall > 0 else 0.0,
+        iterations=events,
+        rounds=1,
+        metrics={
+            "nodes": nodes,
+            "slots": slots,
+            "gamma": gamma,
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "blocks": blocks,
+            "blocks_per_sec": blocks / wall if wall > 0 else 0.0,
+            "validations": len(workload.validations),
+            "success_rate": workload.success_rate(),
+            "trace_sha256": slot_simulation_trace_digest(workload),
+        },
+    )
+    return result
+
+
+# -- orchestration ------------------------------------------------------------
+
+def run_benchmarks(
+    fast: bool = False,
+    only: Optional[List[str]] = None,
+    log: Callable[[str], None] = lambda _msg: None,
+) -> Dict[str, BenchResult]:
+    """Run all (or ``only`` the named) benchmarks; returns name -> result."""
+    min_round_time = 0.005 if fast else 0.1
+    rounds = 2 if fast else 5
+    results: Dict[str, BenchResult] = {}
+    for name, op in _micro_benchmarks(fast, only):
+        if only and name not in only:
+            continue
+        result = _time_op(name, op, min_round_time, rounds)
+        results[name] = result
+        log(f"{name:<26} {result.ns_per_op:>14,.0f} ns/op "
+            f"({result.ops_per_sec:>14,.0f} ops/s)")
+    if not only or "slot_sim" in only:
+        result = _run_slot_sim(fast)
+        results["slot_sim"] = result
+        metrics = result.metrics
+        log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "
+            f"{metrics['events_per_sec']:,.0f} events/s, "
+            f"{metrics['blocks_per_sec']:,.0f} blocks/s, "
+            f"trace {str(metrics['trace_sha256'])[:12]}…")
+    return results
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``norev``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if proc.returncode == 0 and proc.stdout.strip():
+            return proc.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        # SubprocessError covers TimeoutExpired, which is not an OSError.
+        pass
+    return "norev"
+
+
+def default_output_name(rev: Optional[str] = None) -> str:
+    """``BENCH_<rev>.json``."""
+    return f"BENCH_{rev if rev is not None else git_revision()}.json"
+
+
+def results_to_json(
+    results: Dict[str, BenchResult], fast: bool, rev: Optional[str] = None
+) -> Dict[str, object]:
+    """The serializable document written to ``BENCH_<rev>.json``."""
+    return {
+        "schema": 1,
+        "rev": rev if rev is not None else git_revision(),
+        "fast": fast,
+        "results": {name: r.to_json() for name, r in sorted(results.items())},
+    }
+
+
+def compare_to_baseline(
+    current: Dict[str, object], baseline: Dict[str, object]
+) -> List[Tuple[str, float, bool]]:
+    """Per-op slowdown ratios vs. a baseline document.
+
+    Returns ``(name, ratio, regressed)`` for every op present in both
+    documents; ``ratio`` is ``current_ns / baseline_ns`` (>1 is slower)
+    and ``regressed`` flags ratios above :data:`REGRESSION_FACTOR`.
+    The macro workload is compared on wall seconds.
+    """
+    rows: List[Tuple[str, float, bool]] = []
+    current_results = current.get("results", {})
+    baseline_results = baseline.get("results", {})
+    for name in sorted(set(current_results) & set(baseline_results)):
+        if name == "slot_sim":
+            now = current_results[name].get("metrics", {}).get("wall_s")
+            then = baseline_results[name].get("metrics", {}).get("wall_s")
+        else:
+            now = current_results[name].get("ns_per_op")
+            then = baseline_results[name].get("ns_per_op")
+        if not now or not then:
+            continue
+        ratio = float(now) / float(then)
+        rows.append((name, ratio, ratio > REGRESSION_FACTOR))
+    return rows
+
+
+def load_baseline(path: str) -> Optional[Dict[str, object]]:
+    """Parse a baseline document, or ``None`` if the file is absent."""
+    if not os.path.exists(path):
+        return None
+    with open(path) as handle:
+        return json.load(handle)

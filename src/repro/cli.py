@@ -6,7 +6,9 @@ Run as ``python -m repro <command>``:
 * ``verify``    — run one PoP verification and print the outcome;
 * ``fig7`` / ``fig8`` / ``fig9`` — regenerate a paper figure as a text
   table (and ASCII chart);
-* ``headline``  — print the abstract's measured ratios.
+* ``headline``  — print the abstract's measured ratios;
+* ``bench``     — run the performance benchmark harness and write
+  ``BENCH_<rev>.json`` (see ``docs/performance.md``).
 
 Examples::
 
@@ -146,6 +148,53 @@ def cmd_headline(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run the benchmark harness; write and check BENCH_<rev>.json."""
+    import json
+    import os
+
+    from repro.bench import runner as bench_runner
+
+    unknown = sorted(set(args.only) - set(bench_runner.TRACKED_OPS))
+    if unknown:
+        print(f"unknown benchmark op(s): {', '.join(unknown)}; "
+              f"known: {', '.join(bench_runner.TRACKED_OPS)}", file=sys.stderr)
+        return 2
+
+    fast = args.fast or os.environ.get("REPRO_BENCH_FAST") == "1"
+    results = bench_runner.run_benchmarks(
+        fast=fast, only=args.only or None, log=print
+    )
+    document = bench_runner.results_to_json(results, fast=fast)
+    out_path = args.out or bench_runner.default_output_name(document["rev"])
+    with open(out_path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nresults written to {out_path}")
+
+    if args.no_check:
+        return 0
+    baseline_path = args.baseline or bench_runner.BASELINE_RELPATH
+    baseline = bench_runner.load_baseline(baseline_path)
+    if baseline is None:
+        print(f"no baseline at {baseline_path}; skipping regression check")
+        return 0
+    if bool(baseline.get("fast")) != fast:
+        print(f"baseline {baseline_path} was recorded with "
+              f"fast={baseline.get('fast')}; skipping regression check")
+        return 0
+    rows = bench_runner.compare_to_baseline(document, baseline)
+    regressed = False
+    print(f"\nvs. baseline {baseline_path} "
+          f"(rev {baseline.get('rev', '?')}, fail at "
+          f">{bench_runner.REGRESSION_FACTOR:.1f}x):")
+    for name, ratio, is_regression in rows:
+        marker = "REGRESSION" if is_regression else "ok"
+        print(f"  {name:<26} {ratio:6.2f}x  {marker}")
+        regressed = regressed or is_regression
+    return 3 if regressed else 0
+
+
 def cmd_report(args) -> int:
     """Generate the full markdown reproduction report."""
     from repro.experiments.report import generate_report
@@ -190,6 +239,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slots", type=int, default=30)
     p.add_argument("--target-slot", type=int, default=0)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("bench", help="run the performance benchmark harness")
+    p.add_argument("--fast", action="store_true",
+                   help="smoke scale (also via REPRO_BENCH_FAST=1)")
+    p.add_argument("--out", default=None,
+                   help="output JSON path (default BENCH_<rev>.json)")
+    p.add_argument("--baseline", default=None,
+                   help="baseline JSON to compare against "
+                        "(default benchmarks/baselines/BENCH_baseline.json)")
+    p.add_argument("--no-check", action="store_true",
+                   help="skip the regression check against the baseline")
+    p.add_argument("--only", action="append", default=[],
+                   help="run only the named op (repeatable)")
+    p.set_defaults(fn=cmd_bench)
 
     for name, fn in (("fig7", cmd_fig7), ("fig8", cmd_fig8),
                      ("fig9", cmd_fig9), ("headline", cmd_headline),

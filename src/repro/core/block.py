@@ -69,8 +69,21 @@ class BlockBody:
         ]
 
     def root(self, bits: int) -> Digest:
-        """Merkle root ``M(b^d)`` of the body."""
-        return merkle_root(self.chunks(), bits)
+        """Merkle root ``M(b^d)`` of the body; memoised per width.
+
+        Bodies are frozen and the chunk expansion is a pure function of
+        the seed, so the root is computed at most once per width —
+        ``verify_body_root`` on a fetched block reuses the value.
+        """
+        by_bits = self.__dict__.get("_body_root_by_bits")
+        if by_bits is None:
+            by_bits = {}
+            object.__setattr__(self, "_body_root_by_bits", by_bits)
+        root = by_bits.get(bits)
+        if root is None:
+            root = merkle_root(self.chunks(), bits)
+            by_bits[bits] = root
+        return root
 
 
 @dataclass(frozen=True)
@@ -106,6 +119,17 @@ class BlockHeader:
     nonce: int
     signature: bytes
 
+    # Identity caching (see docs/performance.md).  Headers are frozen and
+    # every field that feeds the canonical encodings is immutable once the
+    # header is built, so the encodings and their hashes are memoised on
+    # the instance.  The cache slots are plain ``__dict__`` entries written
+    # via ``object.__setattr__`` (allowed on frozen dataclasses) and are
+    # deliberately *not* dataclass fields: they never participate in
+    # ``__eq__``/``repr`` and a ``dataclasses.replace`` starts cold.
+    # Invariant required: callers must never mutate ``digests`` after
+    # construction (``build_block`` and ``decode_header`` both hand the
+    # header a private dict).
+
     # -- identity -------------------------------------------------------------
     @property
     def block_id(self) -> BlockId:
@@ -121,36 +145,67 @@ class BlockHeader:
         return [self.root.value, codec.encode_digest_map(self._digest_bytes_map())]
 
     def signing_payload(self) -> bytes:
-        """Canonical bytes covered by the signature (Eq. 6)."""
-        return codec.encode_fields(
-            [
-                ("version", codec.encode_u32(self.version)),
-                ("time", codec.encode_time(self.time)),
-                ("root", self.root.value),
-                ("digests", codec.encode_digest_map(self._digest_bytes_map())),
-                ("nonce", codec.encode_u64(self.nonce)),
-            ]
-        )
+        """Canonical bytes covered by the signature (Eq. 6); memoised."""
+        payload = self.__dict__.get("_hdr_signing_payload")
+        if payload is None:
+            payload = codec.encode_fields(
+                [
+                    ("version", codec.encode_u32(self.version)),
+                    ("time", codec.encode_time(self.time)),
+                    ("root", self.root.value),
+                    ("digests", codec.encode_digest_map(self._digest_bytes_map())),
+                    ("nonce", codec.encode_u64(self.nonce)),
+                ]
+            )
+            object.__setattr__(self, "_hdr_signing_payload", payload)
+        return payload
 
     def encode(self) -> bytes:
-        """Canonical bytes of the full header (digest pre-image)."""
-        return codec.encode_fields(
-            [
-                ("origin", codec.encode_u32(self.origin)),
-                ("index", codec.encode_u32(self.index)),
-                ("body", self.signing_payload()),
-                ("signature", self.signature),
-            ]
-        )
+        """Canonical bytes of the full header (digest pre-image); memoised."""
+        encoded = self.__dict__.get("_hdr_encoded")
+        if encoded is None:
+            encoded = codec.encode_fields(
+                [
+                    ("origin", codec.encode_u32(self.origin)),
+                    ("index", codec.encode_u32(self.index)),
+                    ("body", self.signing_payload()),
+                    ("signature", self.signature),
+                ]
+            )
+            object.__setattr__(self, "_hdr_encoded", encoded)
+        return encoded
 
     def digest(self, bits: int = 256) -> Digest:
-        """``H(b^h)`` — the block digest pushed to neighbours."""
-        return hash_bytes(self.encode(), bits)
+        """``H(b^h)`` — the block digest pushed to neighbours.
+
+        Memoised per requested width: the simulation digests every
+        header many times (neighbour pushes, DAG insertion, every WPS
+        round trip of every PoP run), always through the same shared
+        header object, so after the first call this is a dict lookup.
+        """
+        by_bits = self.__dict__.get("_hdr_digest_by_bits")
+        if by_bits is None:
+            by_bits = {}
+            object.__setattr__(self, "_hdr_digest_by_bits", by_bits)
+        digest = by_bits.get(bits)
+        if digest is None:
+            digest = hash_bytes(self.encode(), bits)
+            by_bits[bits] = digest
+        return digest
 
     # -- queries used by PoP ----------------------------------------------------
     def references(self, other_digest: Digest) -> bool:
-        """Whether Δ contains ``other_digest`` (child-of test, §III-C)."""
-        return any(d == other_digest for d in self.digests.values())
+        """Whether Δ contains ``other_digest`` (child-of test, §III-C).
+
+        Backed by a cached frozenset of digest bytes — a ``Digest``'s
+        width is determined by its byte length, so byte equality is
+        exactly ``Digest`` equality and the linear scan is unnecessary.
+        """
+        values = self.__dict__.get("_hdr_ref_values")
+        if values is None:
+            values = frozenset(d.value for d in self.digests.values())
+            object.__setattr__(self, "_hdr_ref_values", values)
+        return other_digest.value in values
 
     def digest_from(self, node: int) -> Optional[Digest]:
         """``GetDigest(b^h, node)`` of Algorithm 3 (``None`` if absent)."""
@@ -239,7 +294,8 @@ def build_block(
         nonce=solution.nonce,
         signature=b"",
     )
-    signature = sign(unsigned.signing_payload(), keypair)
+    payload = unsigned.signing_payload()
+    signature = sign(payload, keypair)
     header = BlockHeader(
         origin=origin,
         index=index,
@@ -250,6 +306,9 @@ def build_block(
         nonce=solution.nonce,
         signature=signature,
     )
+    # The signature does not cover itself, so the signed header's
+    # payload is byte-identical to the unsigned one — warm its cache.
+    object.__setattr__(header, "_hdr_signing_payload", payload)
     return DataBlock(header=header, body=body)
 
 

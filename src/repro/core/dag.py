@@ -40,6 +40,11 @@ class LogicalDag:
         Insertion order is arbitrary: if a parent arrives after a child,
         the edge is created when the parent's digest becomes resolvable
         (via the pending-reference index, so insertion is O(degree)).
+
+        The digest comes from the header's identity cache
+        (:meth:`~repro.core.block.BlockHeader.digest`), so inserting a
+        header that has already been pushed or validated re-hashes
+        nothing.
         """
         block_id = header.block_id
         if block_id in self._headers:

@@ -67,14 +67,22 @@ class HeaderCache:
         child_ids = self._children_of_digest.get(digest.value)
         if not child_ids:
             return None
-        eligible = [
-            b for b in child_ids
-            if (not skip_ids or b not in skip_ids)
-            and (not exclude_origins or b.origin not in exclude_origins)
-        ]
-        if not eligible:
+        # Single pass: filter and track the (time, id) minimum without
+        # materialising the eligible list — TPS calls this once per free
+        # path step, often with most children filtered out.
+        best = None
+        best_key = None
+        for block_id in child_ids:
+            if skip_ids and block_id in skip_ids:
+                continue
+            if exclude_origins and block_id.origin in exclude_origins:
+                continue
+            key = (self._headers[block_id].time, block_id)
+            if best_key is None or key < best_key:
+                best = block_id
+                best_key = key
+        if best is None:
             return None
-        best = min(eligible, key=lambda b: (self._headers[b].time, b))
         return self._headers[best]
 
     def size_bits(self, config: ProtocolConfig) -> int:

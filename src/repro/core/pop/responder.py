@@ -20,7 +20,12 @@ from repro.crypto.hashing import Digest
 
 
 def find_oldest_child(store: BlockStore, digest: Digest) -> Optional[DataBlock]:
-    """Eq. (10)-(11): the oldest own block referencing ``digest``."""
+    """Eq. (10)-(11): the oldest own block referencing ``digest``.
+
+    One dict lookup: the store maintains its oldest-child index
+    incrementally as blocks are generated, so serving a ``REQ_CHILD``
+    costs O(1) regardless of how many own blocks embed the digest.
+    """
     return store.oldest_child_of(digest)
 
 

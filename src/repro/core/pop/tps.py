@@ -4,6 +4,10 @@ Extends the verification path using only the validator's local cache
 ``H_i``: while some cached header contains the digest of the current
 verifying block, adopt it as the next path element.  No messages are
 exchanged — this is where reactive consensus amortises.
+
+Each step's ``current.digest(hash_bits)`` is served from the header's
+identity cache, so a whole TPS walk hashes nothing that has been
+digested before anywhere in the process.
 """
 
 from __future__ import annotations

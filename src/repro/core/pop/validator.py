@@ -41,7 +41,7 @@ from repro.core.pop.messages import (
     RpyChild,
 )
 from repro.core.pop.tps import trust_path_selection
-from repro.core.pop.wps import weighted_path_selection
+from repro.core.pop.wps import closed_neighborhood_weight, weighted_path_selection
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.puzzle import NoncePuzzle
 from repro.net.topology import Topology
@@ -174,8 +174,6 @@ class PopValidator:
                 return self.rng.choice(sorted(candidates))
             return sorted(candidates)[0]
         if self.hop_aware:
-            from repro.core.pop.wps import closed_neighborhood_weight
-
             routing = self.interface.network.routing
             me = self.interface.node_id
             return min(

@@ -11,6 +11,15 @@ each candidate by Eq. (7):
 counted — and picks the minimum.  Ties are broken in favour of nodes
 not yet in ``R_i``, then uniformly at random (we use a seeded stream so
 runs are reproducible).
+
+Performance note: the closed neighbourhoods come from the topology's
+precomputed table (:attr:`~repro.net.topology.Topology.closed_neighborhoods`),
+so no candidate's neighbourhood set is ever rebuilt — scoring is one
+C-level intersection count against the frozen table entry.  The weight
+values are exactly the same integer-ratio floats as the definitional
+formula, so selections (including tie-breaks) are bit-identical;
+``tests/pop/test_wps.py`` holds the two implementations equal on
+randomised consensus sets.
 """
 
 from __future__ import annotations
@@ -25,8 +34,8 @@ def closed_neighborhood_weight(
     candidate: int, consensus_set: AbstractSet[int], topology: Topology
 ) -> float:
     """Eq. (7): fraction of ``candidate``'s closed neighbourhood in ``R_i``."""
-    closed = set(topology.neighbors(candidate)) | {candidate}
-    return len(consensus_set & closed) / len(closed)
+    closed = topology.closed_neighborhoods[candidate]
+    return len(closed & consensus_set) / len(closed)
 
 
 def weighted_path_selection(
@@ -55,9 +64,21 @@ def weighted_path_selection(
     if not pool:
         raise ValueError("WPS called with no candidates")
 
-    weights = {c: closed_neighborhood_weight(c, consensus_set, topology) for c in pool}
-    minimum = min(weights.values())
-    tied = [c for c in pool if weights[c] == minimum]
+    # One pass over the sorted pool: track the running minimum and the
+    # candidates tied on it, in pool order (the order the dict-based
+    # formulation produced).  The weight expression is inlined — this
+    # loop runs for every live path-extension of every PoP run.
+    closed_table = topology.closed_neighborhoods
+    minimum = 2.0  # Eq. (7) weights live in [0, 1]
+    tied: List[int] = []
+    for candidate in pool:
+        closed = closed_table[candidate]
+        weight = len(closed & consensus_set) / len(closed)
+        if weight < minimum:
+            minimum = weight
+            tied = [candidate]
+        elif weight == minimum:
+            tied.append(candidate)
 
     if len(tied) == 1:
         return tied[0]

@@ -16,6 +16,7 @@ verify another block that is generated in the past using PoP").
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -220,6 +221,13 @@ class SlotSimulation:
         self.validations: List[ValidationRecord] = []
         self._pending: List[Tuple[ValidationRecord, Process]] = []
         self.current_slot = -1
+        # Validation-target pool: blocks of fully simulated slots, kept
+        # sorted incrementally.  Re-sorting every eligible block on every
+        # pick dominated large workloads (O(blocks · log) comparisons per
+        # generated block); folding each slot in once as it ages past the
+        # eligibility boundary makes a pick a linear filter.
+        self._eligible_sorted: List[BlockId] = []
+        self._eligible_merged_slot: Optional[int] = None
 
     # -- scheduling one slot --------------------------------------------------
     def _schedule_slot(self, slot: int) -> SlotReport:
@@ -249,6 +257,13 @@ class SlotSimulation:
                 return
             block = node.generate_block()
             self.blocks_by_slot.setdefault(slot, []).append(block.block_id)
+            merged = self._eligible_merged_slot
+            if merged is not None and slot <= merged:
+                # Late generator (possible when intra_slot_jitter >= 1
+                # pushes a slot-s event past slot s's run window): its
+                # slot was already folded into the pool, so fold the
+                # block in directly to keep the pool an exact snapshot.
+                insort(self._eligible_sorted, block.block_id)
             report.blocks_generated.append(block.block_id)
             if self.validate:
                 target = self._pick_validation_target(slot, exclude_origin=node_id)
@@ -268,16 +283,47 @@ class SlotSimulation:
 
         return generate
 
+    def _merge_eligible_through(self, boundary: int) -> None:
+        """Fold blocks of fully simulated slots ≤ ``boundary`` into the pool.
+
+        Only completed slots may be folded — their block lists can no
+        longer grow, so the pool stays an exact sorted snapshot.  The
+        boundary is monotone (slots only move forward), so each slot is
+        merged exactly once.
+        """
+        merged = self._eligible_merged_slot
+        if merged is not None and boundary <= merged:
+            return
+        lower = merged if merged is not None else None
+        for s in sorted(self.blocks_by_slot):
+            if s > boundary or (lower is not None and s <= lower):
+                continue
+            for block in self.blocks_by_slot[s]:
+                insort(self._eligible_sorted, block)
+        self._eligible_merged_slot = boundary
+
     def _pick_validation_target(self, slot: int, exclude_origin: int) -> Optional[BlockId]:
         """Uniform random block at least ``validation_min_age_slots`` old."""
         newest_eligible_slot = slot - self.validation_min_age_slots
-        eligible: List[BlockId] = []
-        for s, blocks in self.blocks_by_slot.items():
-            if s <= newest_eligible_slot:
-                eligible.extend(b for b in blocks if b.origin != exclude_origin)
+        merge_boundary = min(newest_eligible_slot, self.current_slot)
+        self._merge_eligible_through(merge_boundary)
+        eligible = [b for b in self._eligible_sorted if b.origin != exclude_origin]
+        if merge_boundary < newest_eligible_slot:
+            # Eligibility reaches into the in-flight slot (only possible
+            # with a minimum age below one slot): scan it live, exactly
+            # as the pre-pooled implementation did.
+            extra = [
+                block
+                for s, blocks in self.blocks_by_slot.items()
+                if merge_boundary < s <= newest_eligible_slot
+                for block in blocks
+                if block.origin != exclude_origin
+            ]
+            if extra:
+                eligible = sorted(eligible + extra)
         if not eligible:
             return None
-        return self._rng.choice(sorted(eligible))
+        return self._rng.choice(eligible)
 
     # -- running -----------------------------------------------------------------
     def run(self, slots: int, start_slot: int = 0) -> None:

@@ -22,6 +22,10 @@ class BlockStore:
         self.hash_bits = hash_bits
         self._blocks: List[DataBlock] = []
         self._children_of_digest: Dict[bytes, List[int]] = {}
+        # digest -> position of the Eq. (11) reply block, maintained
+        # incrementally so the responder's hot path is one dict lookup
+        # instead of a min() over all referencing blocks.
+        self._oldest_child_of_digest: Dict[bytes, int] = {}
 
     def add(self, block: DataBlock) -> None:
         """Append a newly generated block and index its references."""
@@ -36,8 +40,15 @@ class BlockStore:
             )
         position = len(self._blocks)
         self._blocks.append(block)
+        time = block.header.time
         for parent_digest in block.header.digests.values():
-            self._children_of_digest.setdefault(parent_digest.value, []).append(position)
+            key = parent_digest.value
+            self._children_of_digest.setdefault(key, []).append(position)
+            oldest = self._oldest_child_of_digest.get(key)
+            if oldest is None or (time, position) < (
+                self._blocks[oldest].header.time, oldest
+            ):
+                self._oldest_child_of_digest[key] = position
 
     # -- queries ----------------------------------------------------------
     def __len__(self) -> int:
@@ -62,12 +73,16 @@ class BlockStore:
         return self._blocks[block_id.index]
 
     def oldest_child_of(self, digest: Digest) -> Optional[DataBlock]:
-        """Eq. (10)-(11): oldest own block whose Δ contains ``digest``."""
-        positions = self._children_of_digest.get(digest.value)
-        if not positions:
+        """Eq. (10)-(11): oldest own block whose Δ contains ``digest``.
+
+        Served from the incrementally maintained oldest-child index —
+        ties on generation time break towards the earlier sequence
+        position, matching the previous ``min`` over all children.
+        """
+        position = self._oldest_child_of_digest.get(digest.value)
+        if position is None:
             return None
-        oldest = min(positions, key=lambda p: (self._blocks[p].header.time, p))
-        return self._blocks[oldest]
+        return self._blocks[position]
 
     def size_bits(self, config: ProtocolConfig) -> int:
         """Total stored bits of ``S_i`` (Eq. 2 summed over blocks)."""

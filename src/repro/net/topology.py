@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from repro.sim.rng import RandomStreams
@@ -50,6 +51,26 @@ class Topology:
     def neighbors(self, node: int) -> FrozenSet[int]:
         """``N(node)`` per Eq. (1)."""
         return self.adjacency[node]
+
+    @cached_property
+    def closed_neighborhoods(self) -> Dict[int, FrozenSet[int]]:
+        """``N(node) ∪ {node}`` for every node, built once per topology.
+
+        WPS scores every candidate by its closed neighbourhood (Eq. 7)
+        on every path-extension step of every PoP run; precomputing the
+        frozen sets here turns each score into set lookups with no
+        per-candidate allocation.  The topology is immutable, so the
+        table can never go stale (``subgraph_without`` returns a fresh
+        instance with its own table).
+        """
+        return {
+            node: frozenset(neighbors | {node})
+            for node, neighbors in self.adjacency.items()
+        }
+
+    def closed_neighborhood(self, node: int) -> FrozenSet[int]:
+        """``N(node) ∪ {node}`` from the precomputed table."""
+        return self.closed_neighborhoods[node]
 
     def degree(self, node: int) -> int:
         """``|N(node)|``."""

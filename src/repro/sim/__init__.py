@@ -23,7 +23,7 @@ Example
 """
 
 from repro.sim.errors import SimulationError, StopProcess
-from repro.sim.kernel import Event, Simulator, Timeout
+from repro.sim.kernel import Event, ScheduledCall, Simulator, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
 from repro.sim.tracing import TraceRecord, Tracer
@@ -32,6 +32,7 @@ __all__ = [
     "Event",
     "Process",
     "RandomStreams",
+    "ScheduledCall",
     "SimulationError",
     "Simulator",
     "StopProcess",

@@ -9,7 +9,8 @@ from a single seed.
 Two scheduling styles are supported:
 
 * callback style — :meth:`Simulator.call_at` / :meth:`Simulator.call_in`
-  run a plain callable at a simulated time;
+  run a plain callable at a simulated time (scheduled as a lightweight
+  :class:`ScheduledCall`, the kernel's allocation-lean fast path);
 * process style — :class:`repro.sim.process.Process` wraps a generator
   that ``yield``\\ s events (usually :class:`Timeout`) and is resumed when
   they trigger.
@@ -140,6 +141,64 @@ class Event:
         return f"<{type(self).__name__} {state} value={self._value!r}>"
 
 
+class ScheduledCall:
+    """The ``call_at``/``call_in`` fast path: a one-shot callback entry.
+
+    Callback scheduling is the kernel's hottest operation (every digest
+    push, transport delivery and slot tick goes through it), and a full
+    :class:`Event` costs a callbacks list, a value slot and a wrapping
+    closure per call.  A ``ScheduledCall`` carries only the callable;
+    it shares the heap with full events and obeys the same
+    ``(time, priority, sequence)`` ordering, so interleavings — and
+    therefore whole-simulation determinism — are unchanged.
+
+    The handle supports the same lifecycle queries and lazy
+    cancellation contract as :class:`Event` (``cancel`` before
+    processing works; cancelling after processing raises), but it is
+    not awaitable and takes no extra callbacks — use
+    :meth:`Simulator.event` when a future is needed.
+    """
+
+    __slots__ = ("fn", "_processed", "_cancelled")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self._processed = False
+        self._cancelled = False
+
+    @property
+    def processed(self) -> bool:
+        """Whether the callback has already run."""
+        return self._processed
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the call was cancelled before running."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent a scheduled-but-unprocessed call from running."""
+        if self._processed:
+            raise EventStateError("cannot cancel a processed event")
+        self._cancelled = True
+        self.fn = None  # drop the closure early; the heap entry lingers
+
+    def _process(self) -> None:
+        if self._cancelled:
+            return
+        self._processed = True
+        fn, self.fn = self.fn, None
+        fn()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "cancelled" if self._cancelled
+            else "processed" if self._processed
+            else "scheduled"
+        )
+        return f"<ScheduledCall {state}>"
+
+
 class Timeout(Event):
     """An event that triggers itself ``delay`` units after creation."""
 
@@ -174,10 +233,13 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: List[Tuple[float, int, int, Event]] = []
+        # Heap entries hold either a full Event or a ScheduledCall; both
+        # expose .cancelled and ._process(), which is all step() needs.
+        self._heap: List[Tuple[float, int, int, Any]] = []
         self._sequence = itertools.count()
         self._running = False
         self._processed_count = 0
+        self._cancelled_count = 0
 
     # -- clock --------------------------------------------------------------
     @property
@@ -195,6 +257,11 @@ class Simulator:
         """Total number of events processed since construction."""
         return self._processed_count
 
+    @property
+    def cancelled_count(self) -> int:
+        """Cancelled entries discarded from the heap (lazy cancellation)."""
+        return self._cancelled_count
+
     # -- event creation -------------------------------------------------------
     def event(self) -> Event:
         """Create an untriggered :class:`Event` bound to this simulator."""
@@ -204,18 +271,23 @@ class Simulator:
         """Create a :class:`Timeout` triggering ``delay`` from now."""
         return Timeout(self, delay, value)
 
-    def call_at(self, time: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL) -> Event:
-        """Run ``fn`` (no arguments) at absolute simulated ``time``."""
+    def call_at(
+        self, time: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> "ScheduledCall":
+        """Run ``fn`` (no arguments) at absolute simulated ``time``.
+
+        Returns a lightweight :class:`ScheduledCall` handle (supports
+        ``cancel()``); scheduling order still breaks same-time ties.
+        """
         if time < self._now:
             raise SchedulingError(f"cannot schedule at {time} < now {self._now}")
-        event = Event(self)
-        event.callbacks.append(lambda _ev: fn())
-        event._ok = True
-        self._enqueue(time, priority, event)
-        event._triggered = True
-        return event
+        entry = ScheduledCall(fn)
+        heapq.heappush(self._heap, (time, priority, next(self._sequence), entry))
+        return entry
 
-    def call_in(self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL) -> Event:
+    def call_in(
+        self, delay: float, fn: Callable[[], None], priority: int = PRIORITY_NORMAL
+    ) -> "ScheduledCall":
         """Run ``fn`` ``delay`` units from now."""
         if delay < 0:
             raise SchedulingError(f"negative delay: {delay}")
@@ -231,25 +303,36 @@ class Simulator:
     def _enqueue(self, time: float, priority: int, event: Event) -> None:
         heapq.heappush(self._heap, (time, priority, next(self._sequence), event))
 
+    def _discard_cancelled(self) -> None:
+        """Drop cancelled entries from the heap top (lazy cancellation).
+
+        The single place cancelled pops happen: ``peek`` and ``step``
+        both call this, so neither re-checks entries the other already
+        discarded, and every discard is counted once in
+        :attr:`cancelled_count`.
+        """
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)
+            self._cancelled_count += 1
+
     def peek(self) -> Optional[float]:
         """Time of the next queued event, or ``None`` if the heap is empty."""
-        while self._heap and self._heap[0][3].cancelled:
-            heapq.heappop(self._heap)
+        self._discard_cancelled()
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Process the single next event.  Returns ``False`` if none remain."""
-        while self._heap:
-            time, _priority, _seq, event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if time < self._now:
-                raise SimulationError("event heap corrupted: time moved backwards")
-            self._now = time
-            event._process()
-            self._processed_count += 1
-            return True
-        return False
+        self._discard_cancelled()
+        if not self._heap:
+            return False
+        time, _priority, _seq, event = heapq.heappop(self._heap)
+        if time < self._now:
+            raise SimulationError("event heap corrupted: time moved backwards")
+        self._now = time
+        event._process()
+        self._processed_count += 1
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the heap drains, ``until`` is reached, or a budget hits.

@@ -1,0 +1,147 @@
+"""Header/body identity caching (docs/performance.md).
+
+Headers are frozen, so their canonical encodings and digests are
+memoised on the instance.  These tests pin the cache's contract:
+cached values equal fresh recomputations, entries are keyed by digest
+width, the frozen-dataclass guarantee holds, and wire round-trips are
+unaffected by warm caches.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core import wire
+from repro.core.block import BlockHeader, build_block, make_body
+from repro.core.config import ProtocolConfig
+from repro.crypto.hashing import hash_bytes
+from repro.crypto.keys import KeyPair
+
+CACHE_ATTRS = (
+    "_hdr_signing_payload",
+    "_hdr_encoded",
+    "_hdr_digest_by_bits",
+    "_hdr_ref_values",
+    "_hdr_wire",
+)
+
+
+@pytest.fixture
+def config():
+    return ProtocolConfig(body_bits=8_000, gamma=2)
+
+
+@pytest.fixture
+def keypair():
+    return KeyPair.generate(3)
+
+
+@pytest.fixture
+def header(config, keypair):
+    digests = {j: hash_bytes(f"parent-{j}".encode()) for j in range(4)}
+    block = build_block(
+        origin=3, index=5, time=2.5, body=make_body(3, 5, config),
+        digests=digests, keypair=keypair, config=config,
+    )
+    return block.header
+
+
+def clear_caches(header: BlockHeader) -> None:
+    for attr in CACHE_ATTRS:
+        header.__dict__.pop(attr, None)
+
+
+class TestDigestCache:
+    def test_warm_digest_equals_cold_recompute(self, header):
+        warm = header.digest()
+        clear_caches(header)
+        cold = header.digest()
+        assert warm == cold
+        assert warm.value == hash_bytes(header.encode()).value
+
+    def test_second_call_returns_cached_object(self, header):
+        assert header.digest() is header.digest()
+
+    def test_width_keyed_entries(self, header):
+        wide = header.digest()
+        narrow = header.digest(bits=128)
+        assert wide.bits == 256 and narrow.bits == 128
+        # Truncated SHA-256: the narrow digest is the wide one's prefix.
+        assert narrow.value == wide.value[:16]
+        # Both widths stay cached independently.
+        assert header.digest(bits=128) is narrow
+        assert header.digest() is wide
+
+    def test_encode_cached_and_stable(self, header):
+        first = header.encode()
+        assert header.encode() is first
+        clear_caches(header)
+        assert header.encode() == first
+
+    def test_signing_payload_prewarmed_by_build(self, header):
+        warm = header.signing_payload()
+        clear_caches(header)
+        assert header.signing_payload() == warm
+
+    def test_replace_starts_cold(self, header):
+        header.digest()
+        tampered = dataclasses.replace(header, nonce=header.nonce + 1)
+        assert "_hdr_digest_by_bits" not in tampered.__dict__
+        assert tampered.digest() != header.digest()
+
+
+class TestMutationSafety:
+    def test_fields_are_frozen(self, header):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            header.nonce = 1
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            header.digests = {}
+
+    def test_caches_do_not_affect_equality_or_repr(self, header):
+        twin = dataclasses.replace(header)
+        header.digest()
+        header.references(hash_bytes(b"x"))
+        assert header == twin
+        assert repr(header) == repr(twin)
+
+
+class TestReferences:
+    def test_matches_linear_scan(self, header):
+        present = list(header.digests.values())
+        absent = [hash_bytes(f"absent-{i}".encode()) for i in range(3)]
+        for digest in present + absent:
+            expected = any(d == digest for d in header.digests.values())
+            assert header.references(digest) is expected
+
+    def test_consistent_after_warmup(self, header):
+        target = next(iter(header.digests.values()))
+        assert header.references(target)
+        assert header.references(target)  # cached frozenset path
+        assert not header.references(hash_bytes(b"never-referenced"))
+
+
+class TestWireRoundTripWithWarmCaches:
+    def test_decode_encode_round_trip(self, header):
+        # Warm every cache first: round-tripping must not be affected.
+        header.digest()
+        header.digest(bits=128)
+        header.encode()
+        header.references(hash_bytes(b"warmup"))
+        data = wire.encode_header(header)
+        assert wire.encode_header(header) is data  # wire bytes memoised
+        decoded = wire.decode_header(data)
+        assert decoded == header
+        assert decoded.digest() == header.digest()
+        assert wire.encode_header(decoded) == data
+
+    def test_body_root_memoised(self, config, keypair):
+        block = build_block(
+            origin=1, index=0, time=0.0, body=make_body(1, 0, config),
+            digests={}, keypair=keypair, config=config,
+        )
+        root = block.body.root(config.hash_bits)
+        assert block.body.root(config.hash_bits) is root
+        assert block.verify_body_root()
+        # A fresh body object recomputes to the same value.
+        fresh = make_body(1, 0, config)
+        assert fresh.root(config.hash_bits) == root

@@ -61,6 +61,48 @@ class TestSlotWorkload:
         assert small_deployment.dag.is_acyclic()
 
 
+class TestEligiblePool:
+    """The incremental validation-target pool mirrors the live scan."""
+
+    def _pool_matches_live_scan(self, workload):
+        merged = workload._eligible_merged_slot
+        if merged is None:
+            return workload._eligible_sorted == []
+        expected = sorted(
+            block
+            for slot, blocks in workload.blocks_by_slot.items()
+            if slot <= merged
+            for block in blocks
+        )
+        return workload._eligible_sorted == expected
+
+    def test_pool_is_exact_snapshot(self, small_config, grid9):
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)
+        workload = SlotSimulation(
+            deployment, validate=True, validation_min_age_slots=3
+        )
+        workload.run(10)
+        workload.run_until_quiet()
+        assert workload._eligible_merged_slot is not None
+        assert self._pool_matches_live_scan(workload)
+
+    def test_pool_exact_with_large_jitter(self, small_config, grid9):
+        # intra_slot_jitter >= 1 pushes some slot-s generators past slot
+        # s's run window; their blocks must still join the pool even
+        # though their slot was folded in before they fired.
+        deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=3)
+        # min age 1 makes a slot get folded during its successor's window,
+        # i.e. *before* the late generators of that slot have fired.
+        workload = SlotSimulation(
+            deployment, validate=True, validation_min_age_slots=1,
+            intra_slot_jitter=1.5,
+        )
+        workload.run(12)
+        workload.run_until_quiet()
+        assert workload.total_blocks() == 12 * 9
+        assert self._pool_matches_live_scan(workload)
+
+
 class TestValidationWorkload:
     def test_validations_start_after_min_age(self, small_config, grid9):
         deployment = TwoLayerDagNetwork(config=small_config, topology=grid9, seed=1)

@@ -1,0 +1,74 @@
+"""Determinism regression guard for the performance layer.
+
+The hot-path caches (header identity, WPS table, kernel fast path,
+validation-target pool) must never change *what* a seeded simulation
+does — only how fast it does it.  Two locks:
+
+* repeat-identity — the same seed twice gives byte-identical canonical
+  traces;
+* a golden trace digest recorded on the pre-optimisation seed tree
+  (commit ``aab4203``) for the bench harness's fast workload, proving
+  the optimised code replays the original behaviour exactly.
+"""
+
+from repro.bench.trace import (
+    slot_simulation_trace_digest,
+    slot_simulation_trace_lines,
+)
+from repro.core.config import ProtocolConfig
+from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.net.topology import sequential_geometric_topology
+from repro.sim.rng import RandomStreams
+
+#: Trace digest of the bench fast workload, computed on the seed tree
+#: *before* any hot-path optimisation existed.  If this changes, an
+#: optimisation altered observable behaviour — fix the code, never the
+#: constant (unless a PR deliberately changes protocol behaviour and
+#: says so).
+GOLDEN_FAST_TRACE = (
+    "f771573a042635d68d402acf3d37e2bfe5e0bd58911bd5ff72a88c66dc837b9a"
+)
+GOLDEN_FAST_EVENTS = 4746
+GOLDEN_FAST_BLOCKS = 300
+GOLDEN_FAST_VALIDATIONS = 156
+
+
+def run_fast_workload(seed: int = 7, nodes: int = 12, slots: int = 25, gamma: int = 3):
+    streams = RandomStreams(seed)
+    topology = sequential_geometric_topology(node_count=nodes, streams=streams)
+    config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.1)
+    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=seed)
+    workload = SlotSimulation(deployment, generation_period=1, validate=True)
+    workload.run(slots)
+    workload.run_until_quiet()
+    return deployment, workload
+
+
+class TestGoldenTrace:
+    def test_matches_pre_optimisation_seed_code(self):
+        deployment, workload = run_fast_workload()
+        assert workload.total_blocks() == GOLDEN_FAST_BLOCKS
+        assert len(workload.validations) == GOLDEN_FAST_VALIDATIONS
+        assert deployment.sim.processed_count == GOLDEN_FAST_EVENTS
+        assert slot_simulation_trace_digest(workload) == GOLDEN_FAST_TRACE
+
+
+class TestRepeatIdentity:
+    def test_same_seed_same_trace(self):
+        _, first = run_fast_workload(seed=13, nodes=10, slots=20, gamma=3)
+        _, second = run_fast_workload(seed=13, nodes=10, slots=20, gamma=3)
+        assert slot_simulation_trace_lines(first) == slot_simulation_trace_lines(second)
+
+    def test_different_seed_different_trace(self):
+        _, first = run_fast_workload(seed=1, nodes=10, slots=20, gamma=3)
+        _, second = run_fast_workload(seed=2, nodes=10, slots=20, gamma=3)
+        assert slot_simulation_trace_digest(first) != slot_simulation_trace_digest(
+            second
+        )
+
+    def test_trace_covers_pop_outcomes(self):
+        _, workload = run_fast_workload(seed=13, nodes=10, slots=20, gamma=3)
+        lines = slot_simulation_trace_lines(workload)
+        pop_lines = [line for line in lines if line.startswith("pop ")]
+        assert len(pop_lines) == len(workload.validations)
+        assert any("consensus=[" in line for line in pop_lines)

@@ -1,0 +1,105 @@
+"""ScheduledCall fast path and unified lazy cancellation."""
+
+import pytest
+
+from repro.sim.errors import EventStateError
+from repro.sim.kernel import PRIORITY_HIGH, ScheduledCall, Simulator, Timeout
+
+
+class TestScheduledCall:
+    def test_call_at_returns_scheduled_call(self, sim):
+        handle = sim.call_at(1.0, lambda: None)
+        assert isinstance(handle, ScheduledCall)
+        assert not handle.processed
+        assert not handle.cancelled
+
+    def test_processed_after_run(self, sim):
+        handle = sim.call_at(1.0, lambda: None)
+        sim.run()
+        assert handle.processed
+
+    def test_cancel_prevents_run(self, sim):
+        hits = []
+        handle = sim.call_in(1.0, lambda: hits.append(1))
+        handle.cancel()
+        sim.run()
+        assert hits == []
+        assert handle.cancelled
+        assert not handle.processed
+
+    def test_cancel_after_processing_raises(self, sim):
+        handle = sim.call_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(EventStateError):
+            handle.cancel()
+
+    def test_cancel_drops_closure(self, sim):
+        handle = sim.call_at(1.0, lambda: None)
+        handle.cancel()
+        assert handle.fn is None
+
+
+class TestOrderingWithFullEvents:
+    def test_interleaves_with_timeouts_in_schedule_order(self, sim):
+        order = []
+        sim.call_at(1.0, lambda: order.append("call-1"))
+        timeout = Timeout(sim, 1.0, value="timeout")
+        timeout.callbacks.append(lambda ev: order.append(ev.value))
+        sim.call_at(1.0, lambda: order.append("call-2"))
+        sim.run()
+        assert order == ["call-1", "timeout", "call-2"]
+
+    def test_priority_still_beats_schedule_order(self, sim):
+        order = []
+        sim.call_at(1.0, lambda: order.append("normal"))
+        sim.call_at(1.0, lambda: order.append("high"), priority=PRIORITY_HIGH)
+        sim.run()
+        assert order == ["high", "normal"]
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            sim = Simulator()
+            order = []
+            for tag in range(30):
+                if tag % 3 == 0:
+                    timeout = Timeout(sim, float(tag % 5), value=tag)
+                    timeout.callbacks.append(lambda ev: order.append(ev.value))
+                else:
+                    sim.call_at(float(tag % 5), lambda t=tag: order.append(t))
+            sim.run()
+            return order
+
+        assert run_once() == run_once()
+
+
+class TestCancelledCount:
+    def test_counts_cancelled_pops(self, sim):
+        handles = [sim.call_at(1.0, lambda: None) for _ in range(5)]
+        for handle in handles[:3]:
+            handle.cancel()
+        sim.run()
+        assert sim.cancelled_count == 3
+        assert sim.processed_count == 2
+
+    def test_peek_and_step_count_each_discard_once(self, sim):
+        first = sim.call_at(1.0, lambda: None)
+        sim.call_at(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek() == 2.0          # discards the cancelled head
+        assert sim.cancelled_count == 1
+        assert sim.step() is True          # must not double-count
+        assert sim.cancelled_count == 1
+        assert sim.processed_count == 1
+
+    def test_cancelled_event_objects_also_counted(self, sim):
+        event = sim.event()
+        event.succeed("value", delay=1.0)
+        event.cancel()
+        sim.run()
+        assert sim.cancelled_count == 1
+        assert not event.processed
+
+    def test_zero_when_nothing_cancelled(self, sim):
+        sim.call_at(1.0, lambda: None)
+        sim.run()
+        assert sim.cancelled_count == 0
