@@ -1,54 +1,44 @@
 #!/usr/bin/env python
 """Attack resilience: PoP routing around a malicious coalition.
 
-Recreates the spirit of Fig. 5 and §IV-D at network scale: a fifth of
-the nodes are captured and go silent in PoP; corrupt responders forge
-headers; the validator still reaches consensus by detouring, and every
-forged reply is rejected by the signature/digest checks.
+Recreates the spirit of Fig. 5 and §IV-D at network scale through the
+``attack-majority`` scenario preset: a fifth of the nodes are captured
+— declared as two adversary entries in the spec (4 PoP-silent, 2
+header-forging) — the validator still reaches consensus by detouring,
+and every forged reply is rejected by the signature/digest checks.
 
 Run:  python examples/attack_resilience.py
+(REPRO_EXAMPLE_QUICK=1 trims the workload for smoke tests.)
 """
 
-from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
+import os
+
 from repro.attacks.behaviors import CorruptResponder, SilentResponder
-from repro.attacks.majority import make_coalition
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import ScenarioRunner, get_scenario
 
 
 def main() -> None:
-    streams = RandomStreams(99)
-    topology = sequential_geometric_topology(node_count=30, streams=streams)
+    spec = get_scenario("attack-majority")
+    audits = 10
+    if os.environ.get("REPRO_EXAMPLE_QUICK") == "1":
+        spec = spec.with_workload(slots=30)
+        audits = 5
 
-    # A mixed coalition: 4 silent + 2 corrupt nodes (1/5 of the network).
-    silent = make_coalition(
-        topology, 4, streams, stream_name="silent", protect=[0, 1]
-    )
-    corrupt = make_coalition(
-        topology, 2, streams, stream_name="corrupt",
-        behavior_factory=CorruptResponder,
-        protect=[0, 1] + sorted(silent),
-    )
-    behaviors = {**silent, **corrupt}
+    runner = ScenarioRunner(spec).build()
+    behaviors = runner.behaviors
+    silent = [n for n, b in behaviors.items() if isinstance(b, SilentResponder)]
+    corrupt = [n for n, b in behaviors.items() if isinstance(b, CorruptResponder)]
     print(f"captured nodes: silent={sorted(silent)} corrupt={sorted(corrupt)}")
 
-    config = ProtocolConfig.paper_defaults(gamma=9, body_mb=0.1)
-    config = ProtocolConfig(
-        body_bits=config.body_bits, gamma=9, reply_timeout=0.05
-    )
-    deployment = TwoLayerDagNetwork(
-        config=config, topology=topology, seed=99, behaviors=behaviors
-    )
-
     # Everyone (including captured nodes) keeps generating blocks.
-    workload = SlotSimulation(deployment, generation_period=1)
-    workload.run(40)
+    runner.advance_to(spec.workload.slots)
+    deployment, workload = runner.deployment, runner.workload
 
-    # Node 0 verifies ten old blocks of honest origins.
+    # Node 0 verifies old blocks of honest origins.
     honest_targets = [
         b for s in range(5) for b in workload.blocks_by_slot[s]
         if b.origin not in behaviors and b.origin != 0
-    ][:10]
+    ][:audits]
 
     validator = deployment.node(0)
     successes = 0

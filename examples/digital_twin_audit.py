@@ -7,36 +7,37 @@ whole point of reactive consensus: no resources are spent verifying
 data nobody reads.
 
 This example:
-1. deploys a 25-node sensor network with the paper's geometric layout;
-2. streams sensor data for 60 slots;
-3. has the operator audit a suspicious reading, fetching the full block
+1. runs the ``digital-twin`` scenario preset (25 sensors, the paper's
+   geometric layout, 60 slots of streamed telemetry);
+2. has the operator audit a suspicious reading, fetching the full block
    (body included) and checking the Merkle root + a PoP path;
-4. shows how a tampered body is caught.
+3. shows how a tampered body is caught.
 
 Run:  python examples/digital_twin_audit.py
+(REPRO_EXAMPLE_QUICK=1 trims the workload for smoke tests.)
 """
 
 import dataclasses
+import os
 
-from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
 from repro.core.block import BlockBody
 from repro.metrics.units import bits_to_mb
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import ScenarioRunner, get_scenario
 
 
 def main() -> None:
     # --- Deployment: 25 sensors, 0.1 MB samples, tolerate 8 bad nodes.
-    streams = RandomStreams(2024)
-    topology = sequential_geometric_topology(node_count=25, streams=streams)
-    config = ProtocolConfig.paper_defaults(gamma=8, body_mb=0.1)
-    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=2024)
+    spec = get_scenario("digital-twin")
+    if os.environ.get("REPRO_EXAMPLE_QUICK") == "1":
+        spec = spec.with_workload(slots=40)
+    config_body_bits = spec.protocol.body_bits
 
-    # --- Stream telemetry for 60 slots.
-    workload = SlotSimulation(deployment, generation_period=1)
-    workload.run(60)
-    print(f"factory floor: {topology.node_count} sensors, "
-          f"{workload.total_blocks()} readings recorded")
+    # --- Stream telemetry for the declared slots.
+    runner = ScenarioRunner(spec)
+    result = runner.run()
+    deployment, workload = runner.deployment, runner.workload
+    print(f"factory floor: {spec.node_count} sensors, "
+          f"{result.total_blocks} readings recorded")
 
     # --- The twin flags a reading from sensor 13 at slot 10 as odd;
     #     the operator (attached at node 0) audits it.
@@ -70,14 +71,14 @@ def main() -> None:
     sensor = deployment.node(13)
     block = sensor.store.get(suspicious)
     tampered = dataclasses.replace(
-        block, body=BlockBody(content_seed=b"falsified", size_bits=config.body_bits)
+        block, body=BlockBody(content_seed=b"falsified", size_bits=config_body_bits)
     )
     print(f"\ntampered body passes Merkle check? {tampered.verify_body_root()}")
 
     # --- Cost summary: the reason 2LDAG fits IoT hardware.
     mean_mb = bits_to_mb(deployment.mean_storage_bits())
     full_replica_mb = bits_to_mb(
-        workload.total_blocks() * config.block_bits(6)
+        result.total_blocks * deployment.config.block_bits(6)
     )
     print(f"\nper-sensor storage: {mean_mb:.1f} MB "
           f"(a full-replication ledger would need ~{full_replica_mb:.0f} MB)")

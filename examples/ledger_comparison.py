@@ -4,42 +4,38 @@
 Runs all three systems live (no cost models) on the same 12-node
 topology and the same per-slot data production, then prints a
 storage/communication scoreboard — a miniature of Figs. 7-8 with every
-message actually simulated.
+message actually simulated.  The 2LDAG side is the
+``ledger-comparison`` scenario preset; the baselines replay the same
+topology and payload the spec declares.
 
 Run:  python examples/ledger_comparison.py
 """
 
-from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
 from repro.baselines.iota.node import IotaNetwork
 from repro.baselines.pbft.cluster import PbftCluster
 from repro.metrics.units import bits_to_mb
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
-
-SLOTS = 12
-BODY_BITS = 160_000  # 20 kB sensor samples
+from repro.scenario import ScenarioRunner, get_scenario
 
 
 def main() -> None:
-    topology = sequential_geometric_topology(
-        node_count=12, streams=RandomStreams(5)
-    )
-    nodes = topology.node_ids
+    spec = get_scenario("ledger-comparison")
+    slots = spec.workload.slots
+    body_bits = spec.protocol.body_bits
 
     # --- 2LDAG (with generation-time verification, γ=4).
-    config = ProtocolConfig(body_bits=BODY_BITS, gamma=4, reply_timeout=0.1)
-    ldag = TwoLayerDagNetwork(config=config, topology=topology, seed=5)
-    workload = SlotSimulation(ldag, validate=True, validation_min_age_slots=6)
-    workload.run(SLOTS)
-    workload.run_until_quiet()
+    runner = ScenarioRunner(spec)
+    result = runner.run()
+    ldag = runner.deployment
+    topology = ldag.topology
+    nodes = topology.node_ids
 
     # --- PBFT: same topology, same payload per slot.
-    pbft = PbftCluster(topology=topology, payload_bits=BODY_BITS, seed=5)
-    pbft.run_slots(SLOTS)
+    pbft = PbftCluster(topology=topology, payload_bits=body_bits, seed=spec.seed)
+    pbft.run_slots(slots)
 
     # --- IOTA: same again.
-    iota = IotaNetwork(topology=topology, payload_bits=BODY_BITS, seed=5)
-    iota.run_slots(SLOTS)
+    iota = IotaNetwork(topology=topology, payload_bits=body_bits, seed=spec.seed)
+    iota.run_slots(slots)
 
     def mean_tx_mb(traffic):
         return bits_to_mb(sum(traffic.tx_bits(n) for n in nodes) / len(nodes))
@@ -50,8 +46,8 @@ def main() -> None:
         ("IOTA", bits_to_mb(iota.mean_storage_bits()), mean_tx_mb(iota.traffic)),
     ]
 
-    print(f"{SLOTS} slots x {len(nodes)} nodes, "
-          f"{BODY_BITS // 8000} kB blocks, all protocols fully simulated\n")
+    print(f"{slots} slots x {len(nodes)} nodes, "
+          f"{body_bits // 8000} kB blocks, all protocols fully simulated\n")
     print(f"{'system':8} | {'storage/node (MB)':>18} | {'transmit/node (MB)':>19}")
     print("-" * 53)
     for name, storage, transmit in rows:
@@ -64,7 +60,7 @@ def main() -> None:
     # Consistency checks: the baselines really did replicate fully.
     assert pbft.chains_consistent()
     assert iota.tangles_consistent()
-    assert workload.success_rate() == 1.0
+    assert result.success_rate == 1.0
 
 
 if __name__ == "__main__":

@@ -2,17 +2,22 @@
 """Dynamic membership: devices leaving and rejoining the network.
 
 The paper's §VII names dynamic scenarios as future work; this example
-exercises the implementation: a third of the sensors go offline
-mid-run (battery swap, duty cycling), the network keeps operating, and
-their historical data remains verifiable throughout — descendants at
-other nodes keep vouching for it.
+exercises the implementation through the ``churn`` scenario preset: a
+third of the sensors go offline mid-run (battery swap, duty cycling),
+the network keeps operating, and their historical data remains
+verifiable throughout — descendants at other nodes keep vouching for
+it.  The offline/rejoin choreography (including §IV-D-6 blacklist
+forgiveness) is declared in the spec's churn section; the runner
+applies it at the right slots.
 
 Run:  python examples/network_churn.py
+(REPRO_EXAMPLE_QUICK=1 trims the workload for smoke tests.)
 """
 
-from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+import os
+from dataclasses import replace
+
+from repro.scenario import ScenarioRunner, get_scenario
 
 
 def verify_batch(deployment, workload, validator_id, targets):
@@ -28,23 +33,27 @@ def verify_batch(deployment, workload, validator_id, targets):
 
 
 def main() -> None:
-    streams = RandomStreams(77)
-    topology = sequential_geometric_topology(node_count=18, streams=streams)
-    config = ProtocolConfig(body_bits=80_000, gamma=5, reply_timeout=0.1)
-    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=77)
-    workload = SlotSimulation(deployment, generation_period=1)
+    spec = get_scenario("churn")
+    if os.environ.get("REPRO_EXAMPLE_QUICK") == "1":
+        spec = spec.with_workload(
+            slots=26,
+            churn=replace(spec.workload.churn, offline_slot=12, rejoin_slot=19),
+        )
+    churn = spec.workload.churn
+    sleepers = list(churn.offline_nodes)
+    runner = ScenarioRunner(spec).build()
+    deployment, workload = runner.deployment, runner.workload
 
-    # Phase 1: everyone online for 15 slots.
-    workload.run(15)
-    print(f"phase 1: {workload.total_blocks()} blocks from 18 sensors")
+    # Phase 1: everyone online until the churn point.
+    runner.advance_to(churn.offline_slot)
+    print(f"phase 1: {workload.total_blocks()} blocks "
+          f"from {spec.node_count} sensors")
 
-    # Phase 2: six sensors go offline (duty cycling).
-    sleepers = [3, 6, 9, 12, 15, 17]
-    for node_id in sleepers:
-        deployment.node(node_id).go_offline()
-    workload.run(10, start_slot=15)
-    online_blocks = workload.total_blocks()
-    print(f"phase 2: sensors {sleepers} offline; total blocks now {online_blocks}")
+    # Phase 2: the spec's churn takes the sleepers offline (duty
+    # cycling); the rest keep generating.
+    runner.advance_to(churn.rejoin_slot)
+    print(f"phase 2: sensors {sleepers} offline; "
+          f"total blocks now {workload.total_blocks()}")
 
     # Their *old* data is still verifiable while they sleep — as long
     # as the author itself is awake to serve the block, PoP vouching
@@ -55,18 +64,14 @@ def main() -> None:
     ok = verify_batch(deployment, workload, validator_id=0, targets=awake_authors)
     print(f"verified {ok}/{len(awake_authors)} slot-2 blocks during the outage")
 
-    # Phase 3: sleepers rejoin; their chains resume seamlessly.  Nodes
-    # that timed out on them during the outage may have blacklisted
-    # them (§IV-D-6); renewed cooperation (transmitting blocks again)
-    # earns forgiveness — modelled by record_cooperation.
-    for node_id in sleepers:
-        deployment.node(node_id).come_online()
-        for other in deployment.node_ids:
-            deployment.node(other).record_cooperation(node_id)
-    workload.run(10, start_slot=25)
+    # Phase 3: the sleepers rejoin (the runner also applies the
+    # §IV-D-6 forgiveness the spec declares); their chains resume.
+    runner.finish()
     resumed = deployment.node(sleepers[0])
+    expected_chain = churn.offline_slot + (spec.workload.slots - churn.rejoin_slot)
     print(f"phase 3: sensor {sleepers[0]} resumed; chain length "
-          f"{len(resumed.store)} (15 pre-outage + 10 post-rejoin)")
+          f"{len(resumed.store)} ({churn.offline_slot} pre-outage + "
+          f"{spec.workload.slots - churn.rejoin_slot} post-rejoin)")
 
     # And the sleepers' pre-outage blocks are verifiable again.
     sleeper_blocks = [
@@ -76,7 +81,7 @@ def main() -> None:
     print(f"verified {ok}/{len(sleeper_blocks)} sleeper blocks after rejoin")
 
     assert ok == len(sleeper_blocks)
-    assert len(resumed.store) == 25
+    assert len(resumed.store) == expected_chain
 
 
 if __name__ == "__main__":

@@ -4,25 +4,24 @@
 A Metaverse application rarely needs a sensor's whole C-bit block to
 answer one query.  With the header committed to a Merkle root, the
 storing node serves one chunk plus an audit path; the consumer checks
-it against the header it trusts from a PoP run.  This example also
-round-trips blocks through the deployable wire format.
+it against the header it trusts from a PoP run.  This example (the
+``partial-audit`` scenario preset) also round-trips blocks through the
+deployable wire format.
 
 Run:  python examples/partial_audit.py
 """
 
-from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
 from repro.core.audit import make_chunk_proof, verify_chunk_proof
 from repro.core.wire import decode_block, encode_block
-from repro.net.topology import grid_topology
+from repro.scenario import ScenarioRunner, get_scenario
 
 
 def main() -> None:
-    config = ProtocolConfig(body_bits=2_000_000, gamma=3)  # 250 kB bodies
-    deployment = TwoLayerDagNetwork(
-        config=config, topology=grid_topology(3, 3), seed=3
-    )
-    workload = SlotSimulation(deployment, generation_period=1)
-    workload.run(20)
+    spec = get_scenario("partial-audit")  # 3x3 grid, 250 kB bodies
+    runner = ScenarioRunner(spec)
+    runner.run()
+    deployment, workload = runner.deployment, runner.workload
+    body_bits = spec.protocol.body_bits
 
     # 1. Establish trust in a block's header via PoP.
     target = workload.blocks_by_slot[4][0]
@@ -39,8 +38,8 @@ def main() -> None:
     block = storing_node.store.get(target)
     proof = make_chunk_proof(block, chunk_index=2)
     print(f"chunk proof: {proof.size_bits() / 8:.0f} B on the wire "
-          f"vs {config.body_bits / 8:.0f} B for the full body "
-          f"({config.body_bits / proof.size_bits():.0f}x saving)")
+          f"vs {body_bits / 8:.0f} B for the full body "
+          f"({body_bits / proof.size_bits():.0f}x saving)")
     assert verify_chunk_proof(proof, trusted_header)
     print("chunk verified against the PoP-trusted header")
 

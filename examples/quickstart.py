@@ -1,30 +1,33 @@
 #!/usr/bin/env python
 """Quickstart: stand up a small 2LDAG network and verify a block.
 
-Builds a nine-node grid, runs the slot workload for thirty slots, then
-acts as an auditor: pick an old data block, run Proof-of-Path against
-its owner, and inspect the consensus path.
+Runs the ``quickstart`` scenario preset — a nine-node grid under the
+slot workload — then acts as an auditor: pick an old data block, run
+Proof-of-Path against its owner, and inspect the consensus path.
 
 Run:  python examples/quickstart.py
+(REPRO_EXAMPLE_QUICK=1 trims the workload for smoke tests.)
 """
 
-from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
+import os
+
 from repro.metrics.units import bits_to_kb
-from repro.net.topology import grid_topology
+from repro.scenario import ScenarioRunner, get_scenario
 
 
 def main() -> None:
-    # 1. A deployment: 3x3 grid, small data blocks, tolerate 3 bad nodes.
-    config = ProtocolConfig(body_bits=8_000, gamma=3)
-    deployment = TwoLayerDagNetwork(
-        config=config, topology=grid_topology(3, 3), seed=7
-    )
+    # 1. The whole deployment and workload are one declarative spec:
+    #    3x3 grid, small data blocks, tolerate 3 bad nodes, 30 slots.
+    spec = get_scenario("quickstart")
+    if os.environ.get("REPRO_EXAMPLE_QUICK") == "1":
+        spec = spec.with_workload(slots=20)
 
     # 2. The paper's workload: every node generates one block per slot
     #    and pushes only the block digest to its neighbours.
-    workload = SlotSimulation(deployment, generation_period=1)
-    workload.run(30)
-    print(f"generated {workload.total_blocks()} blocks across 9 nodes")
+    runner = ScenarioRunner(spec)
+    result = runner.run()
+    deployment, workload = runner.deployment, runner.workload
+    print(f"generated {result.total_blocks} blocks across {spec.node_count} nodes")
     print(f"logical DAG: {len(deployment.dag)} blocks, "
           f"{deployment.dag.edge_count()} edges, "
           f"acyclic={deployment.dag.is_acyclic()}")
@@ -37,10 +40,11 @@ def main() -> None:
     deployment.sim.run()
     outcome = process.value
 
+    quorum = deployment.config.consensus_quorum()
     print(f"\nPoP verification of block {target} by node 8:")
     print(f"  success:        {outcome.success}")
     print(f"  consensus set:  {sorted(outcome.consensus_set)} "
-          f"(quorum = {config.consensus_quorum()})")
+          f"(quorum = {quorum})")
     print(f"  path length:    {len(outcome.path)} blocks")
     print(f"  messages:       {outcome.message_total} "
           f"(cache hits: {outcome.tps_steps})")
@@ -52,7 +56,7 @@ def main() -> None:
     print(f"node 4 transmitted: "
           f"{bits_to_kb(deployment.traffic.tx_bits(4)):.1f} kB total")
 
-    assert outcome.success, "verification should succeed on a 30-slot DAG"
+    assert outcome.success, "verification should succeed on this DAG"
 
 
 if __name__ == "__main__":

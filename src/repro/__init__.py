@@ -12,22 +12,18 @@ The most commonly used entry points are re-exported here:
 * :class:`~repro.core.pop.validator.PopValidator` /
   :class:`~repro.core.pop.validator.PopOutcome` — on-demand
   verification (Proof-of-Path);
+* :mod:`repro.scenario` — the declarative spec → runner → result
+  pipeline every entry point builds its deployment through;
 * :mod:`repro.baselines` — PBFT and IOTA comparison systems;
 * :mod:`repro.attacks` — adversarial behaviours;
 * :mod:`repro.experiments` — one runner per paper figure.
 
 Quickstart
 ----------
->>> from repro import ProtocolConfig, SlotSimulation, TwoLayerDagNetwork
->>> from repro.net.topology import grid_topology
->>> deployment = TwoLayerDagNetwork(
-...     config=ProtocolConfig.paper_defaults(gamma=3),
-...     topology=grid_topology(3, 3),
-...     seed=7,
-... )
->>> sim = SlotSimulation(deployment, validate=True, validation_min_age_slots=9)
->>> sim.run(30)
->>> sim.success_rate() > 0
+>>> from repro import ScenarioRunner, get_scenario
+>>> runner = ScenarioRunner(get_scenario("quickstart"))
+>>> result = runner.run()
+>>> result.total_blocks > 0
 True
 """
 
@@ -40,6 +36,14 @@ from repro.core.pop.batch import BatchReport, verify_batch
 from repro.core.pop.validator import PopOutcome, PopValidator
 from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
 from repro.core.wire import decode_block, decode_header, encode_block, encode_header
+from repro.scenario import (
+    ScenarioResult,
+    ScenarioRunner,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_names,
+)
 
 __version__ = "1.0.0"
 
@@ -56,9 +60,15 @@ __all__ = [
     "PopOutcome",
     "PopValidator",
     "ProtocolConfig",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
     "SlotSimulation",
     "TwoLayerDagNetwork",
     "__version__",
+    "get_scenario",
+    "run_scenario",
+    "scenario_names",
     "decode_block",
     "decode_header",
     "encode_block",

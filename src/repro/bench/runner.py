@@ -312,28 +312,22 @@ def _micro_benchmarks(
 
 # -- the macro workload -------------------------------------------------------
 
-def _run_slot_sim(fast: bool) -> BenchResult:
+def _run_slot_sim(fast: bool, spec=None) -> BenchResult:
     from repro.bench.trace import slot_simulation_trace_digest
-    from repro.core.config import ProtocolConfig
-    from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
-    from repro.net.topology import sequential_geometric_topology
-    from repro.sim.rng import RandomStreams
+    from repro.scenario import ScenarioRunner, bench_scenario
 
-    nodes = 12 if fast else 20
-    slots = 25 if fast else 100
-    gamma = 3 if fast else 4
-
-    streams = RandomStreams(7)
-    topology = sequential_geometric_topology(node_count=nodes, streams=streams)
-    config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.1)
-    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=7)
-    workload = SlotSimulation(deployment, generation_period=1, validate=True)
+    if spec is None:
+        spec = bench_scenario(fast=fast)
+    runner = ScenarioRunner(spec).build()
+    workload_spec = spec.workload
 
     start = time.perf_counter()
-    workload.run(slots)
-    workload.run_until_quiet()
+    runner.advance_to(workload_spec.slots)
+    if workload_spec.run_until_quiet:
+        runner.workload.run_until_quiet(max_extra_time=workload_spec.quiet_time)
     wall = time.perf_counter() - start
 
+    deployment, workload = runner.deployment, runner.workload
     events = deployment.sim.processed_count
     blocks = workload.total_blocks()
     result = BenchResult(
@@ -343,9 +337,10 @@ def _run_slot_sim(fast: bool) -> BenchResult:
         iterations=events,
         rounds=1,
         metrics={
-            "nodes": nodes,
-            "slots": slots,
-            "gamma": gamma,
+            "scenario": spec.name,
+            "nodes": spec.node_count,
+            "slots": workload_spec.slots,
+            "gamma": spec.protocol.gamma,
             "wall_s": wall,
             "events": events,
             "events_per_sec": events / wall if wall > 0 else 0.0,
@@ -365,8 +360,14 @@ def run_benchmarks(
     fast: bool = False,
     only: Optional[List[str]] = None,
     log: Callable[[str], None] = lambda _msg: None,
+    slot_sim_spec=None,
 ) -> Dict[str, BenchResult]:
-    """Run all (or ``only`` the named) benchmarks; returns name -> result."""
+    """Run all (or ``only`` the named) benchmarks; returns name -> result.
+
+    ``slot_sim_spec`` optionally replaces the macro workload's scenario
+    (``python -m repro bench --scenario ...``); the default is the
+    registered ``bench-fast`` / ``bench-full`` preset.
+    """
     min_round_time = 0.005 if fast else 0.1
     rounds = 2 if fast else 5
     results: Dict[str, BenchResult] = {}
@@ -378,7 +379,7 @@ def run_benchmarks(
         log(f"{name:<26} {result.ns_per_op:>14,.0f} ns/op "
             f"({result.ops_per_sec:>14,.0f} ops/s)")
     if not only or "slot_sim" in only:
-        result = _run_slot_sim(fast)
+        result = _run_slot_sim(fast, spec=slot_sim_spec)
         results["slot_sim"] = result
         metrics = result.metrics
         log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "

@@ -2,17 +2,25 @@
 
 Run as ``python -m repro <command>``:
 
-* ``simulate``  — run the slot workload and print a deployment summary;
+* ``simulate``  — run a scenario's slot workload and print a summary
+  (including the canonical trace digest);
 * ``verify``    — run one PoP verification and print the outcome;
+* ``scenarios`` — ``list`` the named presets or ``show`` one as JSON;
 * ``fig7`` / ``fig8`` / ``fig9`` — regenerate a paper figure as a text
   table (and ASCII chart);
 * ``headline``  — print the abstract's measured ratios;
+* ``report``    — the full markdown reproduction report;
 * ``bench``     — run the performance benchmark harness and write
   ``BENCH_<rev>.json`` (see ``docs/performance.md``).
 
-Examples::
+Every workload-running subcommand accepts ``--scenario NAME`` (a
+registry preset) or ``--scenario file.json`` (a spec exported with
+``scenarios show``); see ``docs/scenarios.md``.  Examples::
 
     python -m repro simulate --nodes 25 --slots 40 --gamma 8
+    python -m repro simulate --scenario quickstart
+    python -m repro scenarios show quickstart > s.json
+    python -m repro simulate --scenario s.json
     python -m repro verify --nodes 16 --slots 20 --gamma 4 --target-slot 2
     python -m repro fig7 --body-mb 0.5 --quick
     python -m repro fig9 --panel d --quick
@@ -21,59 +29,124 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from repro.core.config import ProtocolConfig
-from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
 from repro.experiments.common import ExperimentScale
 from repro.metrics.charts import render_chart
-from repro.metrics.units import bits_to_mb, bits_to_mbit
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import (
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    get_scenario,
+    scenario_names,
+)
 
 
-def _scale_from_args(args) -> ExperimentScale:
+def _load_scenario(value: str) -> ScenarioSpec:
+    """Resolve ``--scenario`` input: a JSON file path or a preset name."""
+    if value.endswith(".json") or os.path.sep in value or os.path.exists(value):
+        try:
+            return ScenarioSpec.from_file(value)
+        except FileNotFoundError:
+            raise SystemExit(f"scenario file not found: {value}")
+        except (ScenarioError, ValueError) as error:
+            raise SystemExit(f"invalid scenario file {value}: {error}")
+    try:
+        return get_scenario(value)
+    except KeyError:
+        raise SystemExit(
+            f"unknown scenario {value!r}; known: {', '.join(scenario_names())}"
+        )
+
+
+def _inline_spec(args, validate: bool, run_until_quiet: bool) -> ScenarioSpec:
+    """The ad-hoc spec described by ``--nodes/--slots/--gamma/--body-mb``."""
+    return ScenarioSpec(
+        name="cli",
+        protocol=ProtocolSpec.paper(gamma=args.gamma, body_mb=args.body_mb),
+        topology=TopologySpec(node_count=args.nodes),
+        workload=WorkloadSpec(
+            slots=args.slots,
+            generation_period=1,
+            validate=validate,
+            run_until_quiet=run_until_quiet,
+        ),
+        seed=args.seed,
+    )
+
+
+def _scenario_spec(args, validate: bool = False, run_until_quiet: bool = False) -> ScenarioSpec:
+    """The spec a workload subcommand should run."""
+    if args.scenario:
+        return _load_scenario(args.scenario)
+    return _inline_spec(args, validate=validate, run_until_quiet=run_until_quiet)
+
+
+def _spec_scale(spec: ScenarioSpec) -> ExperimentScale:
+    """The experiment scale a scenario implies (for figure commands).
+
+    Figure commands rebuild their canonical workloads (own γ sweeps,
+    cost models, probes), so only the scenario's *scale* can be
+    honoured — warn when the spec declares sections that cannot be.
+    """
+    ignored = []
+    if spec.topology.kind != "sequential-geometric":
+        ignored.append(f"topology kind {spec.topology.kind!r}")
+    if spec.adversaries:
+        ignored.append("adversaries")
+    if spec.workload.churn is not None:
+        ignored.append("churn")
+    if ignored:
+        print(
+            f"note: figure commands use the scenario's scale only; "
+            f"ignoring its {', '.join(ignored)} "
+            f"(use 'simulate --scenario' to run the spec as declared)",
+            file=sys.stderr,
+        )
+    if spec.scale is not None:
+        return spec.scale
+    return ExperimentScale(
+        node_count=spec.node_count,
+        slots=spec.workload.slots,
+        sample_slots=(
+            list(spec.workload.sample_slots)
+            if spec.workload.sample_slots
+            else [spec.workload.slots]
+        ),
+        validation=spec.workload.validate,
+        seed=spec.seed,
+    )
+
+
+def _scale_from_args(args, spec: Optional[ScenarioSpec] = None) -> ExperimentScale:
+    if spec is None and getattr(args, "scenario", None):
+        spec = _load_scenario(args.scenario)
+    if spec is not None:
+        return _spec_scale(spec)
     if args.quick:
         return ExperimentScale.quick()
     return ExperimentScale.paper()
 
 
-def _build_deployment(args) -> TwoLayerDagNetwork:
-    streams = RandomStreams(args.seed)
-    topology = sequential_geometric_topology(
-        node_count=args.nodes, streams=streams
-    )
-    config = ProtocolConfig.paper_defaults(gamma=args.gamma, body_mb=args.body_mb)
-    return TwoLayerDagNetwork(config=config, topology=topology, seed=args.seed)
-
-
 def cmd_simulate(args) -> int:
-    """Run the slot workload; print storage/communication summary."""
-    deployment = _build_deployment(args)
-    workload = SlotSimulation(
-        deployment, generation_period=1, validate=args.validate
-    )
-    workload.run(args.slots)
-    workload.run_until_quiet()
-    nodes = deployment.node_ids
-    print(f"nodes={len(nodes)} slots={args.slots} gamma={args.gamma} "
-          f"C={args.body_mb} MB")
-    print(f"blocks generated: {workload.total_blocks()}")
-    if args.validate:
-        print(f"validations: {len(workload.validations)} "
-              f"(success rate {workload.success_rate():.3f})")
-    print(f"mean storage/node: {bits_to_mb(deployment.mean_storage_bits()):.2f} MB")
-    print(f"mean transmit/node: "
-          f"{bits_to_mbit(deployment.traffic.mean_tx_bits(nodes)):.3f} Mbit")
+    """Run a scenario's slot workload; print its summary and trace digest."""
+    spec = _scenario_spec(args, validate=args.validate, run_until_quiet=True)
+    result = ScenarioRunner(spec).run()
+    print(result.summary())
     return 0
 
 
 def cmd_verify(args) -> int:
     """Run one PoP verification against a grown DAG."""
-    deployment = _build_deployment(args)
-    workload = SlotSimulation(deployment, generation_period=1)
-    workload.run(args.slots)
+    spec = _scenario_spec(args)
+    runner = ScenarioRunner(spec).build()
+    runner.advance_to(spec.workload.slots)
+    deployment, workload = runner.deployment, runner.workload
     targets = workload.blocks_by_slot.get(args.target_slot, [])
     if not targets:
         print(f"no blocks generated in slot {args.target_slot}", file=sys.stderr)
@@ -92,12 +165,33 @@ def cmd_verify(args) -> int:
     return 0 if outcome.success else 2
 
 
+def cmd_scenarios(args) -> int:
+    """List the scenario presets, or print one as replayable JSON."""
+    if args.action == "list":
+        width = max(len(name) for name in scenario_names())
+        for name in scenario_names():
+            spec = get_scenario(name)
+            print(f"{name:<{width}}  {spec.description}")
+        return 0
+    # show
+    try:
+        spec = get_scenario(args.name)
+    except KeyError:
+        print(f"unknown scenario {args.name!r}; "
+              f"known: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    sys.stdout.write(spec.to_json())
+    return 0
+
+
 def cmd_fig7(args) -> int:
     """Regenerate a Fig. 7 storage panel."""
     from repro.experiments.fig7_storage import run_fig7
 
-    result = run_fig7(args.body_mb, _scale_from_args(args))
-    print(f"Fig. 7 storage overhead, C = {args.body_mb} MB (per-node MB)\n")
+    spec = _load_scenario(args.scenario) if args.scenario else None
+    body_mb = spec.protocol.body_mb if spec is not None else args.body_mb
+    result = run_fig7(body_mb, _scale_from_args(args, spec))
+    print(f"Fig. 7 storage overhead, C = {body_mb} MB (per-node MB)\n")
     print(result.to_table())
     print()
     print(render_chart(result.sample_slots, result.series_mb,
@@ -151,7 +245,6 @@ def cmd_headline(args) -> int:
 def cmd_bench(args) -> int:
     """Run the benchmark harness; write and check BENCH_<rev>.json."""
     import json
-    import os
 
     from repro.bench import runner as bench_runner
 
@@ -162,8 +255,10 @@ def cmd_bench(args) -> int:
         return 2
 
     fast = args.fast or os.environ.get("REPRO_BENCH_FAST") == "1"
+    slot_sim_spec = _load_scenario(args.scenario) if args.scenario else None
     results = bench_runner.run_benchmarks(
-        fast=fast, only=args.only or None, log=print
+        fast=fast, only=args.only or None, log=print,
+        slot_sim_spec=slot_sim_spec,
     )
     document = bench_runner.results_to_json(results, fast=fast)
     out_path = args.out or bench_runner.default_output_name(document["rev"])
@@ -221,13 +316,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def scenario_arg(p):
+        p.add_argument("--scenario", default=None, metavar="NAME|FILE",
+                       help="run a named preset or an exported spec JSON "
+                            "(see 'scenarios list')")
+
     def common(p):
+        scenario_arg(p)
         p.add_argument("--seed", type=int, default=0, help="master seed")
         p.add_argument("--nodes", type=int, default=25, help="|V|")
         p.add_argument("--gamma", type=int, default=8, help="tolerable malicious")
         p.add_argument("--body-mb", type=float, default=0.5, help="C in MB")
 
-    p = sub.add_parser("simulate", help="run the slot workload")
+    p = sub.add_parser("simulate", help="run a scenario's slot workload")
     common(p)
     p.add_argument("--slots", type=int, default=40)
     p.add_argument("--validate", action="store_true",
@@ -240,7 +341,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-slot", type=int, default=0)
     p.set_defaults(fn=cmd_verify)
 
+    p = sub.add_parser("scenarios", help="list or export the scenario presets")
+    scenario_sub = p.add_subparsers(dest="action", required=True)
+    p_list = scenario_sub.add_parser("list", help="name + description per preset")
+    p_list.set_defaults(fn=cmd_scenarios, action="list")
+    p_show = scenario_sub.add_parser(
+        "show", help="print one preset as replayable JSON"
+    )
+    p_show.add_argument("name")
+    p_show.set_defaults(fn=cmd_scenarios, action="show")
+
     p = sub.add_parser("bench", help="run the performance benchmark harness")
+    scenario_arg(p)
     p.add_argument("--fast", action="store_true",
                    help="smoke scale (also via REPRO_BENCH_FAST=1)")
     p.add_argument("--out", default=None,
@@ -258,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
                      ("fig9", cmd_fig9), ("headline", cmd_headline),
                      ("report", cmd_report)):
         p = sub.add_parser(name, help=fn.__doc__)
+        scenario_arg(p)
         p.add_argument("--quick", action="store_true",
                        help="reduced scale (default is full paper scale)")
         if name == "fig7":

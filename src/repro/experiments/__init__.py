@@ -13,10 +13,31 @@ prints the rows the paper plots.  The benchmark harness under
 """
 
 from repro.experiments.common import ExperimentScale
-from repro.experiments.fig7_storage import Fig7Result, run_fig7
-from repro.experiments.fig8_comm import Fig8Result, run_fig8
-from repro.experiments.fig9_consensus import Fig9Result, run_fig9
-from repro.experiments.headline import HeadlineResult, run_headline
+
+#: Lazy exports (PEP 562): the figure modules build their scenarios
+#: through :mod:`repro.scenario`, which itself imports
+#: :class:`ExperimentScale` from this package — importing them eagerly
+#: here would close that loop into a cycle.
+_LAZY = {
+    "Fig7Result": "repro.experiments.fig7_storage",
+    "run_fig7": "repro.experiments.fig7_storage",
+    "Fig8Result": "repro.experiments.fig8_comm",
+    "run_fig8": "repro.experiments.fig8_comm",
+    "Fig9Result": "repro.experiments.fig9_consensus",
+    "run_fig9": "repro.experiments.fig9_consensus",
+    "HeadlineResult": "repro.experiments.headline",
+    "run_headline": "repro.experiments.headline",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
 
 __all__ = [
     "ExperimentScale",

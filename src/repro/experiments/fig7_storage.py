@@ -5,26 +5,24 @@ slots for body sizes C ∈ {0.1, 0.5, 1} MB, comparing PBFT, IOTA and
 2LDAG.  Panel (d): the CDF of per-node storage at the final slot for
 C = 0.5 MB.
 
-2LDAG is simulated live (own blocks ``S_i`` plus header cache ``H_i``);
-the baselines use their validated closed-form cost models (every node
-stores every block — see :mod:`repro.baselines`).
+2LDAG is simulated live through the scenario pipeline
+(:func:`repro.scenario.fig7_scenario` declares the workload, the
+runner samples the storage series); the baselines use their validated
+closed-form cost models (every node stores every block — see
+:mod:`repro.baselines`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional
 
 from repro.baselines.iota.costmodel import IotaCostModel
 from repro.baselines.pbft.costmodel import PbftCostModel
-from repro.core.config import ProtocolConfig
-from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
 from repro.experiments.common import ExperimentScale
 from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.reporting import format_series_table
-from repro.metrics.units import bits_to_mb
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import ScenarioRunner, fig7_scenario
 
 
 @dataclass
@@ -35,7 +33,7 @@ class Fig7Result:
     sample_slots: List[int]
     series_mb: Dict[str, List[float]]
     per_node_mb_final: List[float] = field(default_factory=list)
-    scale: ExperimentScale = None
+    scale: Optional[ExperimentScale] = None
 
     def cdf(self) -> EmpiricalCDF:
         """The Fig. 7(d) CDF over final per-node storage."""
@@ -46,17 +44,7 @@ class Fig7Result:
         return format_series_table("slots", self.sample_slots, self.series_mb)
 
 
-def _build_deployment(body_mb: float, scale: ExperimentScale) -> TwoLayerDagNetwork:
-    streams = RandomStreams(scale.seed)
-    topology = sequential_geometric_topology(
-        node_count=scale.node_count, streams=streams
-    )
-    gamma = max(1, round(scale.node_count / 3))
-    config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=body_mb)
-    return TwoLayerDagNetwork(config=config, topology=topology, seed=scale.seed)
-
-
-def run_fig7(body_mb: float, scale: ExperimentScale = None) -> Fig7Result:
+def run_fig7(body_mb: float, scale: Optional[ExperimentScale] = None) -> Fig7Result:
     """Produce one Fig. 7 panel for body size ``body_mb``.
 
     Every node generates one block per slot (``C/r_i = 1``, the
@@ -67,36 +55,29 @@ def run_fig7(body_mb: float, scale: ExperimentScale = None) -> Fig7Result:
     if scale is None:
         scale = ExperimentScale.from_env()
 
-    deployment = _build_deployment(body_mb, scale)
-    workload = SlotSimulation(deployment, generation_period=1, validate=scale.validation)
+    runner = ScenarioRunner(fig7_scenario(body_mb, scale))
+    measured = runner.run()
+    deployment = runner.deployment
 
     pbft = PbftCostModel(deployment.topology, deployment.config.body_bits)
     iota = IotaCostModel(deployment.topology, deployment.config.body_bits)
 
-    ldag_series: List[float] = []
-    done = 0
-    for sample in scale.sample_slots:
-        workload.run(sample - done, start_slot=done)
-        done = sample
-        ldag_series.append(bits_to_mb(deployment.mean_storage_bits()))
-
-    result = Fig7Result(
+    return Fig7Result(
         body_mb=body_mb,
         sample_slots=list(scale.sample_slots),
         series_mb={
             "PBFT": pbft.storage_series_mb(scale.sample_slots),
             "IOTA": iota.storage_series_mb(scale.sample_slots),
-            "2LDAG": ldag_series,
+            "2LDAG": list(measured.storage_mb),
         },
-        per_node_mb_final=[
-            bits_to_mb(node.storage_bits()) for node in deployment.nodes.values()
-        ],
+        per_node_mb_final=list(measured.per_node_storage_mb),
         scale=scale,
     )
-    return result
 
 
-def run_fig7_all_panels(scale: ExperimentScale = None) -> Dict[str, Fig7Result]:
+def run_fig7_all_panels(
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, Fig7Result]:
     """Panels (a)-(c): C = 0.1, 0.5, 1 MB; (d) reuses the 0.5 MB run."""
     if scale is None:
         scale = ExperimentScale.from_env()

@@ -5,29 +5,26 @@ Panels: (a) overall per-node traffic (DAG construction + consensus) for
 construction only (digest pushes); (c) consensus only (PoP headers);
 (d) the CDF of per-node total traffic at the final slot.
 
-The 2LDAG runs are live simulations with generation-time validation
-(header-only fetches, matching the paper's header accounting); the
-baselines use their cost models.  "33%/49% malicious" select the
-tolerance γ — consensus paths of ⌈0.33|V|⌉+1 and ⌈0.49|V|⌉+1 nodes —
-as in the paper's §VI-B.
+The 2LDAG runs are live scenario-pipeline simulations with
+generation-time validation (header-only fetches, matching the paper's
+header accounting); the baselines use their cost models.  "33%/49%
+malicious" select the tolerance γ — consensus paths of ⌈0.33|V|⌉+1 and
+⌈0.49|V|⌉+1 nodes — as in the paper's §VI-B;
+:func:`repro.scenario.fig8_scenario` declares each run.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.baselines.iota.costmodel import IotaCostModel
 from repro.baselines.pbft.costmodel import PbftCostModel
-from repro.core.config import ProtocolConfig
-from repro.core.protocol import CATEGORY_DAG, CATEGORY_POP, SlotSimulation, TwoLayerDagNetwork
 from repro.experiments.common import ExperimentScale
 from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.reporting import format_series_table
-from repro.metrics.units import bits_to_mb, bits_to_mbit
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import ScenarioRunner, fig8_scenario
 
 
 @dataclass
@@ -39,7 +36,7 @@ class Fig8Result:
     dag_mbit: Dict[str, List[float]]           # panel (b)
     consensus_mbit: Dict[str, List[float]]     # panel (c)
     per_node_total_mb_final: Dict[str, List[float]] = field(default_factory=dict)
-    scale: ExperimentScale = None
+    scale: Optional[ExperimentScale] = None
 
     def cdf(self, label: str) -> EmpiricalCDF:
         """Panel (d): CDF over final per-node communication (MB)."""
@@ -56,54 +53,19 @@ def gamma_for_fraction(node_count: int, fraction: float) -> int:
     return max(1, math.ceil(node_count * fraction))
 
 
-def _run_2ldag_comm(
-    gamma: int, scale: ExperimentScale, label: str
-) -> Dict[str, object]:
-    streams = RandomStreams(scale.seed)
-    topology = sequential_geometric_topology(
-        node_count=scale.node_count, streams=streams
-    )
-    config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.5)
-    deployment = TwoLayerDagNetwork(config=config, topology=topology, seed=scale.seed)
-    workload = SlotSimulation(deployment, generation_period=1, validate=True)
-
-    nodes = deployment.node_ids
-    overall: List[float] = []
-    dag_only: List[float] = []
-    pop_only: List[float] = []
-    done = 0
-    for sample in scale.sample_slots:
-        workload.run(sample - done, start_slot=done)
-        done = sample
-        ledger = deployment.traffic
-        overall.append(bits_to_mbit(ledger.mean_tx_bits(nodes)))
-        dag_only.append(bits_to_mbit(ledger.mean_tx_bits(nodes, [CATEGORY_DAG])))
-        pop_only.append(bits_to_mbit(ledger.mean_tx_bits(nodes, [CATEGORY_POP])))
-    per_node_final = [
-        bits_to_mb(deployment.traffic.total_bits(n)) for n in nodes
-    ]
-    return {
-        "label": label,
-        "overall": overall,
-        "dag": dag_only,
-        "pop": pop_only,
-        "per_node_final": per_node_final,
-        "deployment": deployment,
-    }
-
-
-def run_fig8(scale: ExperimentScale = None) -> Fig8Result:
+def run_fig8(scale: Optional[ExperimentScale] = None) -> Fig8Result:
     """Produce all Fig. 8 series."""
     if scale is None:
         scale = ExperimentScale.from_env()
 
     label_33 = "2LDAG-33%"
     label_49 = "2LDAG-49%"
-    run33 = _run_2ldag_comm(gamma_for_fraction(scale.node_count, 0.33), scale, label_33)
-    run49 = _run_2ldag_comm(gamma_for_fraction(scale.node_count, 0.49), scale, label_49)
+    runner_33 = ScenarioRunner(fig8_scenario(0.33, scale))
+    run33 = runner_33.run()
+    run49 = ScenarioRunner(fig8_scenario(0.49, scale)).run()
 
-    topology = run33["deployment"].topology
-    body_bits = run33["deployment"].config.body_bits
+    topology = runner_33.deployment.topology
+    body_bits = runner_33.deployment.config.body_bits
     pbft = PbftCostModel(topology, body_bits)
     iota = IotaCostModel(topology, body_bits)
 
@@ -112,14 +74,20 @@ def run_fig8(scale: ExperimentScale = None) -> Fig8Result:
         overall_mbit={
             "PBFT": pbft.comm_series_mbit(scale.sample_slots),
             "IOTA": iota.comm_series_mbit(scale.sample_slots),
-            label_33: run33["overall"],
-            label_49: run49["overall"],
+            label_33: list(run33.traffic_mbit),
+            label_49: list(run49.traffic_mbit),
         },
-        dag_mbit={label_33: run33["dag"], label_49: run49["dag"]},
-        consensus_mbit={label_33: run33["pop"], label_49: run49["pop"]},
+        dag_mbit={
+            label_33: list(run33.traffic_dag_mbit),
+            label_49: list(run49.traffic_dag_mbit),
+        },
+        consensus_mbit={
+            label_33: list(run33.traffic_pop_mbit),
+            label_49: list(run49.traffic_pop_mbit),
+        },
         per_node_total_mb_final={
-            label_33: run33["per_node_final"],
-            label_49: run49["per_node_final"],
+            label_33: list(run33.per_node_traffic_mb),
+            label_49: list(run49.per_node_traffic_mb),
         },
         scale=scale,
     )

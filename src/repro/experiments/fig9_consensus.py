@@ -21,13 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.attacks.majority import make_coalition
-from repro.core.config import ProtocolConfig
 from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
 from repro.experiments.common import ExperimentScale
 from repro.metrics.reporting import format_series_table
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import ScenarioRunner, fig9_scenario
 
 
 @dataclass
@@ -38,7 +35,7 @@ class Fig9Result:
     malicious_counts: List[int]
     sample_slots: List[int]
     failure_probability: Dict[int, List[float]]  # malicious count -> series
-    scale: ExperimentScale = None
+    scale: Optional[ExperimentScale] = None
 
     def consensus_slot(self, malicious: int) -> Optional[int]:
         """First sampled slot with zero failures, or ``None``."""
@@ -94,7 +91,7 @@ def run_fig9(
     gamma: int,
     malicious_counts: List[int],
     sample_slots: Optional[List[int]] = None,
-    scale: ExperimentScale = None,
+    scale: Optional[ExperimentScale] = None,
 ) -> Fig9Result:
     """Produce one Fig. 9 panel.
 
@@ -117,36 +114,21 @@ def run_fig9(
 
     failure: Dict[int, List[float]] = {}
     for malicious in malicious_counts:
-        streams = RandomStreams(scale.seed + malicious)
-        topology = sequential_geometric_topology(
-            node_count=scale.node_count, streams=streams
+        spec = fig9_scenario(
+            gamma=gamma, malicious=malicious, slots=sample_slots[-1], scale=scale
         )
-        behaviors = make_coalition(topology, malicious, streams)
-        # Short reply timeout + fast links keep probe sim-time well under
-        # a slot even with many silent responders.
-        config = ProtocolConfig.paper_defaults(gamma=gamma, body_mb=0.5)
-        config = ProtocolConfig(
-            body_bits=config.body_bits, gamma=gamma, reply_timeout=0.02
-        )
-        deployment = TwoLayerDagNetwork(
-            config=config,
-            topology=topology,
-            seed=scale.seed + malicious,
-            behaviors=behaviors,
-            per_hop_latency=0.0001,
-        )
-        workload = SlotSimulation(
-            deployment, generation_period="random-1-2", validate=False
-        )
-        probe_rng = streams.get("probes")
+        runner = ScenarioRunner(spec).build()
+        probe_rng = runner.streams.get("probes")
         series: List[float] = []
-        done = 0
         for sample in sample_slots:
-            workload.run(sample - done, start_slot=done)
-            done = sample
+            runner.advance_to(sample)
             series.append(
                 _probe_batch(
-                    deployment, workload, gamma, scale.probes_per_sample, probe_rng
+                    runner.deployment,
+                    runner.workload,
+                    gamma,
+                    scale.probes_per_sample,
+                    probe_rng,
                 )
             )
         failure[malicious] = series

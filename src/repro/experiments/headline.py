@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.experiments.common import ExperimentScale
 from repro.experiments.fig7_storage import run_fig7
@@ -49,7 +49,7 @@ class HeadlineResult:
         )
 
 
-def run_headline(scale: ExperimentScale = None) -> HeadlineResult:
+def run_headline(scale: Optional[ExperimentScale] = None) -> HeadlineResult:
     """Derive the headline ratios from the Fig. 7/8 runs (C = 0.5 MB)."""
     if scale is None:
         scale = ExperimentScale.from_env()

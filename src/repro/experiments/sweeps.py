@@ -14,13 +14,16 @@ out but does not plot:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.analysis.bounds import prop4_message_lower_bound, prop6_message_upper_bound
-from repro.core.config import ProtocolConfig
-from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
-from repro.net.topology import sequential_geometric_topology
-from repro.sim.rng import RandomStreams
+from repro.scenario import (
+    ProtocolSpec,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
 
 
 @dataclass
@@ -61,23 +64,22 @@ def gamma_sweep(
     """Measure cold-cache PoP message cost across tolerances."""
     points = []
     for gamma in gammas:
-        streams = RandomStreams(seed + gamma)
-        topology = sequential_geometric_topology(
-            node_count=node_count, streams=streams
-        )
-        config = ProtocolConfig(body_bits=80_000, gamma=gamma, reply_timeout=0.05)
-        deployment = TwoLayerDagNetwork(
-            config=config, topology=topology, seed=seed + gamma
-        )
         # §V's analysis assumes slot-synchronous generation (every
         # neighbour embeds the previous slot's digest); zero jitter
         # matches that model so Props. 4/6 bracket the measurements.
-        workload = SlotSimulation(
-            deployment, generation_period=1, intra_slot_jitter=0.0
+        spec = ScenarioSpec(
+            name=f"gamma-sweep-{gamma}",
+            protocol=ProtocolSpec(body_bits=80_000, gamma=gamma, reply_timeout=0.05),
+            topology=TopologySpec(node_count=node_count),
+            workload=WorkloadSpec(
+                slots=slots, generation_period=1, intra_slot_jitter=0.0
+            ),
+            seed=seed + gamma,
         )
-        workload.run(slots)
+        runner = ScenarioRunner(spec).advance_to(slots)
+        deployment, workload = runner.deployment, runner.workload
         outcomes = _run_cold_validations(
-            deployment, workload, validations, streams.get("sweep")
+            deployment, workload, validations, runner.streams.get("sweep")
         )
         successes = [o for o in outcomes if o.success]
         mean_messages = (
@@ -120,24 +122,23 @@ def density_sweep(
     """Measure digest overhead vs PoP cost across network densities."""
     points = []
     for comm_range in comm_ranges:
-        streams = RandomStreams(seed)
-        topology = sequential_geometric_topology(
-            node_count=node_count,
-            area_side=400.0,
-            comm_range=comm_range,
-            streams=streams,
+        spec = ScenarioSpec(
+            name=f"density-sweep-{comm_range}",
+            protocol=ProtocolSpec(body_bits=80_000, gamma=gamma, reply_timeout=0.05),
+            topology=TopologySpec(
+                node_count=node_count, area_side=400.0, comm_range=comm_range
+            ),
+            workload=WorkloadSpec(slots=slots, generation_period=1),
+            seed=seed,
         )
-        config = ProtocolConfig(body_bits=80_000, gamma=gamma, reply_timeout=0.05)
-        deployment = TwoLayerDagNetwork(
-            config=config, topology=topology, seed=seed
-        )
-        workload = SlotSimulation(deployment, generation_period=1)
-        workload.run(slots)
+        runner = ScenarioRunner(spec).advance_to(slots)
+        deployment, workload = runner.deployment, runner.workload
         outcomes = _run_cold_validations(
-            deployment, workload, validations, streams.get("sweep")
+            deployment, workload, validations, runner.streams.get("sweep")
         )
         successes = [o for o in outcomes if o.success]
         nodes = deployment.node_ids
+        topology = deployment.topology
         digest_bits = deployment.traffic.mean_tx_bits(nodes, ["dag"]) / slots
         points.append(
             DensitySweepPoint(

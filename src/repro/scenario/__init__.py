@@ -1,0 +1,67 @@
+"""The unified scenario pipeline: declarative spec → runner → result.
+
+One :class:`ScenarioSpec` declares a whole 2LDAG run — protocol knobs,
+topology, workload (slots, validation, churn), adversaries, and seeds
+— with JSON round-trip for committing and replaying scenarios.  A
+:class:`ScenarioRunner` builds the deployment, drives it, and returns
+a structured :class:`ScenarioResult`.  Named presets (``quickstart``,
+``paper-fig7`` … ``attack-*``, ``bench-*``) live in the registry.
+
+Every entry point in the repository — the CLI, the paper experiments,
+the examples, the attack demos and the bench harness — constructs its
+deployment through this package, so new scenarios are data, not code.
+"""
+
+from repro.scenario.registry import (
+    bench_scenario,
+    fig7_scenario,
+    fig8_scenario,
+    fig9_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenario.runner import (
+    ScenarioResult,
+    ScenarioRunner,
+    build_topology,
+    run_scenario,
+)
+from repro.scenario.spec import (
+    ADVERSARY_KINDS,
+    COALITION_KINDS,
+    RANDOM_1_2,
+    TOPOLOGY_KINDS,
+    AdversarySpec,
+    ChurnSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ADVERSARY_KINDS",
+    "COALITION_KINDS",
+    "RANDOM_1_2",
+    "TOPOLOGY_KINDS",
+    "AdversarySpec",
+    "ChurnSpec",
+    "ProtocolSpec",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TopologySpec",
+    "WorkloadSpec",
+    "bench_scenario",
+    "build_topology",
+    "fig7_scenario",
+    "fig8_scenario",
+    "fig9_scenario",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,370 @@
+"""Run a :class:`~repro.scenario.spec.ScenarioSpec` end to end.
+
+:class:`ScenarioRunner` is the only place in the codebase that wires a
+:class:`~repro.core.protocol.TwoLayerDagNetwork` from declarative
+input — every entry point (CLI, paper experiments, examples, attack
+demos, the bench harness) goes through it, so scenario construction is
+defined exactly once and seeded traces stay byte-identical across
+callers.
+
+The construction recipe is deliberately frozen: one
+:class:`~repro.sim.rng.RandomStreams` per scenario seeds the topology
+and the adversary coalitions, and the same seed masters the
+deployment's internal streams.  Any change to this ordering changes
+seeded traces, which the golden-trace determinism test pins.
+
+Typical use::
+
+    runner = ScenarioRunner(get_scenario("quickstart"))
+    result = runner.run()          # -> ScenarioResult (pure data)
+    runner.deployment              # the live network, for follow-up audits
+    runner.workload                # the finished SlotSimulation
+
+Long-form use (probes or audits between slots)::
+
+    runner = ScenarioRunner(spec).build()
+    runner.advance_to(15)
+    ...  # interact with runner.deployment mid-run
+    result = runner.finish()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks.behaviors import (
+    CorruptResponder,
+    EquivocatingResponder,
+    SelfishNode,
+    SilentResponder,
+)
+from repro.attacks.eclipse import eclipse_victim
+from repro.attacks.majority import make_coalition
+from repro.attacks.sybil import SybilIdentity, sybil_identities
+from repro.bench.trace import slot_simulation_trace_digest
+from repro.core.config import ProtocolConfig
+from repro.core.node import NodeBehavior
+from repro.core.protocol import (
+    CATEGORY_DAG,
+    CATEGORY_POP,
+    SlotSimulation,
+    TwoLayerDagNetwork,
+)
+from repro.metrics.reporting import format_series_table
+from repro.metrics.units import bits_to_mb, bits_to_mbit
+from repro.net.topology import (
+    Topology,
+    grid_topology,
+    random_geometric_topology,
+    ring_topology,
+    sequential_geometric_topology,
+)
+from repro.scenario.spec import COALITION_KINDS, ScenarioSpec, TopologySpec
+from repro.sim.rng import RandomStreams
+
+#: Coalition kind -> behaviour factory (all zero-argument constructors).
+_BEHAVIOR_FACTORIES: Dict[str, Callable[[], NodeBehavior]] = {
+    "silent": SilentResponder,
+    "corrupt": CorruptResponder,
+    "equivocating": EquivocatingResponder,
+    "selfish": SelfishNode,
+}
+
+
+def build_topology(spec: TopologySpec, streams: RandomStreams) -> Topology:
+    """Materialize a :class:`TopologySpec` (random kinds draw from ``streams``)."""
+    if spec.kind == "sequential-geometric":
+        return sequential_geometric_topology(
+            node_count=spec.node_count,
+            area_side=spec.area_side,
+            comm_range=spec.comm_range,
+            streams=streams,
+        )
+    if spec.kind == "grid":
+        return grid_topology(
+            spec.rows, spec.cols, spacing=spec.spacing, comm_range=spec.comm_range
+        )
+    if spec.kind == "ring":
+        return ring_topology(
+            spec.node_count, spacing=spec.spacing, comm_range=spec.comm_range
+        )
+    if spec.kind == "random-geometric":
+        return random_geometric_topology(
+            node_count=spec.node_count,
+            area_side=spec.area_side,
+            comm_range=spec.comm_range,
+            streams=streams,
+        )
+    raise ValueError(f"unknown topology kind {spec.kind!r}")  # pragma: no cover
+
+
+def build_config(spec: ScenarioSpec) -> ProtocolConfig:
+    """The :class:`ProtocolConfig` a spec's protocol section describes."""
+    return ProtocolConfig(
+        body_bits=spec.protocol.body_bits,
+        gamma=spec.protocol.gamma,
+        reply_timeout=spec.protocol.reply_timeout,
+        puzzle_difficulty_bits=spec.protocol.puzzle_difficulty_bits,
+    )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything measurable about one finished scenario — pure data.
+
+    Serializes directly through
+    :func:`repro.experiments.persistence.save_results` (every leaf is a
+    JSON primitive) and renders through
+    :func:`repro.metrics.reporting.format_series_table` via
+    :meth:`to_table`.
+    """
+
+    spec: ScenarioSpec
+    sample_slots: List[int]
+    total_blocks: int
+    validations: int
+    success_rate: float
+    storage_mb: List[float]
+    traffic_mbit: List[float]
+    traffic_dag_mbit: List[float]
+    traffic_pop_mbit: List[float]
+    per_node_storage_mb: List[float] = field(default_factory=list)
+    per_node_traffic_mb: List[float] = field(default_factory=list)
+    events: int = 0
+    sim_now: float = 0.0
+    trace_sha256: str = ""
+
+    @property
+    def series(self) -> Dict[str, List[float]]:
+        """The sampled series keyed by metric name."""
+        return {
+            "storage_mb": self.storage_mb,
+            "traffic_mbit": self.traffic_mbit,
+            "traffic_dag_mbit": self.traffic_dag_mbit,
+            "traffic_pop_mbit": self.traffic_pop_mbit,
+        }
+
+    def to_table(self) -> str:
+        """The sampled series as an aligned text table."""
+        return format_series_table("slots", self.sample_slots, self.series)
+
+    def summary(self) -> str:
+        """A compact human-readable digest of the run."""
+        lines = [
+            f"scenario {self.spec.name}: {self.spec.node_count} nodes, "
+            f"{self.spec.workload.slots} slots, seed {self.spec.seed}",
+            f"blocks generated: {self.total_blocks}",
+        ]
+        if self.validations:
+            lines.append(
+                f"validations: {self.validations} "
+                f"(success rate {self.success_rate:.3f})"
+            )
+        lines.append(f"mean storage/node: {self.storage_mb[-1]:.2f} MB")
+        lines.append(f"mean transmit/node: {self.traffic_mbit[-1]:.3f} Mbit")
+        lines.append(f"trace sha256: {self.trace_sha256}")
+        return "\n".join(lines)
+
+
+class ScenarioRunner:
+    """spec → deployment → result, the pipeline every entry point shares.
+
+    After :meth:`build` (or lazily on first use) the live objects are
+    exposed for follow-up interaction: ``deployment``, ``workload``,
+    ``streams`` (the scenario's master random source), ``behaviors``
+    (the adversary roster actually installed) and ``sybil_identities``.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+        self.deployment: Optional[TwoLayerDagNetwork] = None
+        self.workload: Optional[SlotSimulation] = None
+        self.streams: Optional[RandomStreams] = None
+        self.behaviors: Dict[int, NodeBehavior] = {}
+        self.sybil_identities: List[SybilIdentity] = []
+        self._next_slot = 0
+        self._sampled: Dict[int, Dict[str, float]] = {}
+        self._offline_applied = False
+        self._rejoin_applied = False
+
+    # -- construction ------------------------------------------------------
+    def build(self) -> "ScenarioRunner":
+        """Wire the deployment and workload; idempotent."""
+        if self.deployment is not None:
+            return self
+        spec = self.spec
+        self.streams = RandomStreams(spec.seed)
+        topology = build_topology(spec.topology, self.streams)
+
+        behaviors: Dict[int, NodeBehavior] = {}
+        drop_rules = []
+        for adversary in spec.adversaries:
+            if adversary.kind in COALITION_KINDS:
+                coalition = make_coalition(
+                    topology,
+                    adversary.count,
+                    self.streams,
+                    stream_name=adversary.stream_name,
+                    behavior_factory=_BEHAVIOR_FACTORIES[adversary.kind],
+                    protect=sorted(set(adversary.protect) | set(behaviors)),
+                )
+                behaviors.update(coalition)
+            elif adversary.kind == "eclipse":
+                drop_rules.append(eclipse_victim(adversary.victim))
+            elif adversary.kind == "sybil":
+                self.sybil_identities.extend(
+                    sybil_identities(adversary.attacker, adversary.count)
+                )
+        self.behaviors = behaviors
+
+        self.deployment = TwoLayerDagNetwork(
+            config=build_config(spec),
+            topology=topology,
+            seed=spec.seed,
+            behaviors=behaviors or None,
+            per_hop_latency=spec.per_hop_latency,
+        )
+        for rule in drop_rules:
+            self.deployment.network.add_drop_rule(rule)
+
+        workload = spec.workload
+        self.workload = SlotSimulation(
+            self.deployment,
+            generation_period=workload.generation_period,
+            validate=workload.validate,
+            validation_min_age_slots=workload.validation_min_age_slots,
+            intra_slot_jitter=workload.intra_slot_jitter,
+            fetch_body=workload.fetch_body,
+        )
+        return self
+
+    # -- driving -----------------------------------------------------------
+    def _apply_churn(self, slot: int) -> None:
+        churn = self.spec.workload.churn
+        if churn is None:
+            return
+        if not self._offline_applied and slot >= churn.offline_slot:
+            for node_id in churn.offline_nodes:
+                self.deployment.node(node_id).go_offline()
+            self._offline_applied = True
+        if (
+            not self._rejoin_applied
+            and churn.rejoin_slot is not None
+            and slot >= churn.rejoin_slot
+        ):
+            for node_id in churn.offline_nodes:
+                self.deployment.node(node_id).come_online()
+                if churn.forgive_on_rejoin:
+                    for other in self.deployment.node_ids:
+                        self.deployment.node(other).record_cooperation(node_id)
+            self._rejoin_applied = True
+
+    def _boundaries_until(self, target: int) -> List[int]:
+        """Slots in (next, target] where the runner must pause."""
+        churn = self.spec.workload.churn
+        stops = {s for s in self.spec.workload.sample_slots if self._next_slot < s <= target}
+        if churn is not None:
+            for stop in (churn.offline_slot, churn.rejoin_slot):
+                if stop is not None and self._next_slot < stop <= target:
+                    stops.add(stop)
+        stops.add(target)
+        return sorted(stops)
+
+    def _record_sample(self, slot: int) -> None:
+        deployment = self.deployment
+        nodes = deployment.node_ids
+        ledger = deployment.traffic
+        self._sampled[slot] = {
+            "storage_mb": bits_to_mb(deployment.mean_storage_bits()),
+            "traffic_mbit": bits_to_mbit(ledger.mean_tx_bits(nodes)),
+            "traffic_dag_mbit": bits_to_mbit(
+                ledger.mean_tx_bits(nodes, [CATEGORY_DAG])
+            ),
+            "traffic_pop_mbit": bits_to_mbit(
+                ledger.mean_tx_bits(nodes, [CATEGORY_POP])
+            ),
+        }
+
+    def advance_to(self, slot: int) -> "ScenarioRunner":
+        """Simulate up to (and including) slot ``slot - 1``.
+
+        Churn is applied and series are sampled at their declared
+        slots; mid-run interaction with ``deployment`` between calls is
+        safe (the workload re-anchors behind an advanced clock).
+        """
+        self.build()
+        if slot > self.spec.workload.slots:
+            raise ValueError(
+                f"cannot advance to slot {slot}: the workload declares "
+                f"{self.spec.workload.slots} slots"
+            )
+        if slot < self._next_slot:
+            raise ValueError(
+                f"cannot advance to slot {slot}: slot {self._next_slot} "
+                f"is already simulated"
+            )
+        if slot == self._next_slot:
+            return self
+        for stop in self._boundaries_until(slot):
+            self._apply_churn(self._next_slot)
+            if stop > self._next_slot:
+                self.workload.run(stop - self._next_slot, start_slot=self._next_slot)
+                self._next_slot = stop
+            if stop in self.spec.workload.sample_slots:
+                self._record_sample(stop)
+        return self
+
+    def finish(self) -> ScenarioResult:
+        """Run any remaining slots, drain, and assemble the result."""
+        self.build()
+        workload_spec = self.spec.workload
+        self.advance_to(workload_spec.slots)
+        if workload_spec.run_until_quiet:
+            self.workload.run_until_quiet(max_extra_time=workload_spec.quiet_time)
+        if not self._sampled:
+            # No declared sample axis: record the final state so the
+            # series have one point.  When the spec declares
+            # sample_slots, the series stay exactly that length (the
+            # experiment tables align them with other sampled series).
+            self._record_sample(workload_spec.slots)
+
+        deployment = self.deployment
+        sample_slots = sorted(self._sampled)
+        series = {
+            key: [self._sampled[s][key] for s in sample_slots]
+            for key in (
+                "storage_mb", "traffic_mbit", "traffic_dag_mbit", "traffic_pop_mbit"
+            )
+        }
+        return ScenarioResult(
+            spec=self.spec,
+            sample_slots=sample_slots,
+            total_blocks=self.workload.total_blocks(),
+            validations=len(self.workload.validations),
+            success_rate=self.workload.success_rate(),
+            storage_mb=series["storage_mb"],
+            traffic_mbit=series["traffic_mbit"],
+            traffic_dag_mbit=series["traffic_dag_mbit"],
+            traffic_pop_mbit=series["traffic_pop_mbit"],
+            per_node_storage_mb=[
+                bits_to_mb(node.storage_bits())
+                for node in deployment.nodes.values()
+            ],
+            per_node_traffic_mb=[
+                bits_to_mb(deployment.traffic.total_bits(n))
+                for n in deployment.node_ids
+            ],
+            events=deployment.sim.processed_count,
+            sim_now=deployment.sim.now,
+            trace_sha256=slot_simulation_trace_digest(self.workload),
+        )
+
+    def run(self) -> ScenarioResult:
+        """``build()`` + drive the whole workload + ``finish()``."""
+        return self.finish()
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """One-shot convenience: run ``spec`` and return its result."""
+    return ScenarioRunner(spec).run()

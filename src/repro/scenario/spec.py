@@ -1,0 +1,405 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is the single source of truth for one 2LDAG
+run: protocol knobs, a named+parameterized topology, the slot workload
+(including churn), an optional adversary roster and the master seed.
+Specs are frozen, validated on construction, and round-trip through
+JSON (:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict` /
+:meth:`ScenarioSpec.from_file`), so a scenario can be committed,
+diffed, and replayed byte-identically — new workloads are data, not
+copy-pasted wiring code.
+
+The companion modules supply the other two stages of the pipeline:
+:mod:`repro.scenario.registry` names the canonical specs and
+:mod:`repro.scenario.runner` turns any spec into a deployment and a
+structured :class:`~repro.scenario.runner.ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.experiments.common import ExperimentScale
+from repro.metrics.units import bits_to_mb, mb_to_bits
+
+#: Format marker for serialized specs, bumped on breaking layout changes.
+SPEC_FORMAT_VERSION = 1
+
+#: Topology kinds :func:`repro.scenario.runner.build_topology` understands.
+TOPOLOGY_KINDS = ("sequential-geometric", "grid", "ring", "random-geometric")
+
+#: Coalition adversary kinds -> behaviour factories live in the runner.
+COALITION_KINDS = ("silent", "corrupt", "equivocating", "selfish")
+
+#: All adversary kinds (coalitions plus the structural attacks).
+ADVERSARY_KINDS = COALITION_KINDS + ("eclipse", "sybil")
+
+#: The sentinel generation period reproducing Fig. 9's workload.
+RANDOM_1_2 = "random-1-2"
+
+
+class ScenarioError(ValueError):
+    """A spec that cannot describe a runnable scenario."""
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named, parameterized physical graph.
+
+    ``kind`` selects the builder; only the parameters that kind reads
+    are meaningful (the rest keep their defaults and are ignored):
+
+    * ``sequential-geometric`` — the paper's §VI placement
+      (``node_count``, ``area_side``, ``comm_range``);
+    * ``grid`` — deterministic ``rows`` × ``cols`` lattice
+      (``spacing``, ``comm_range``);
+    * ``ring`` — nodes on a circle (``node_count``, ``spacing``,
+      ``comm_range``);
+    * ``random-geometric`` — uniform placement, resampled until
+      connected (``node_count``, ``area_side``, ``comm_range``).
+    """
+
+    kind: str = "sequential-geometric"
+    node_count: int = 50
+    area_side: float = 1000.0
+    comm_range: float = 50.0
+    rows: int = 0
+    cols: int = 0
+    spacing: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in TOPOLOGY_KINDS:
+            raise ScenarioError(
+                f"unknown topology kind {self.kind!r}; "
+                f"known: {', '.join(TOPOLOGY_KINDS)}"
+            )
+        if self.kind == "grid":
+            if self.rows <= 0 or self.cols <= 0:
+                raise ScenarioError(
+                    f"grid topology needs positive rows/cols, "
+                    f"got {self.rows}x{self.cols}"
+                )
+        elif self.node_count <= 0:
+            raise ScenarioError(
+                f"node_count must be positive, got {self.node_count}"
+            )
+
+    @property
+    def size(self) -> int:
+        """``|V|`` the built topology will have."""
+        if self.kind == "grid":
+            return self.rows * self.cols
+        return self.node_count
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """The :class:`~repro.core.config.ProtocolConfig` knobs runs vary.
+
+    Field widths (``f_v``, ``f_H``, …) always stay at the paper's Fig. 2
+    values; what scenarios sweep is the body size ``C``, the tolerance
+    γ, the PoP reply timeout τ and the nonce-puzzle difficulty.
+    """
+
+    body_bits: int = mb_to_bits(0.5)
+    gamma: int = 16
+    reply_timeout: float = 0.5
+    puzzle_difficulty_bits: int = 0
+
+    def __post_init__(self) -> None:
+        if self.body_bits < 0:
+            raise ScenarioError(f"body_bits must be non-negative, got {self.body_bits}")
+        if self.gamma < 0:
+            raise ScenarioError(f"gamma must be non-negative, got {self.gamma}")
+        if self.reply_timeout <= 0:
+            raise ScenarioError(
+                f"reply_timeout must be positive, got {self.reply_timeout}"
+            )
+
+    @property
+    def body_mb(self) -> float:
+        """``C`` in decimal megabytes (the unit Fig. 7 sweeps)."""
+        return bits_to_mb(self.body_bits)
+
+    @classmethod
+    def paper(cls, gamma: int, body_mb: float = 0.5, **overrides) -> "ProtocolSpec":
+        """The §VI settings with ``C`` given in MB."""
+        return cls(body_bits=mb_to_bits(body_mb), gamma=gamma, **overrides)
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Mid-run membership changes: nodes leave and optionally rejoin.
+
+    ``offline_nodes`` go offline just before slot ``offline_slot`` is
+    scheduled; when ``rejoin_slot`` is set they come back online before
+    that slot, and with ``forgive_on_rejoin`` every node records
+    renewed cooperation (§IV-D-6 blacklist forgiveness).
+    """
+
+    offline_nodes: Tuple[int, ...] = ()
+    offline_slot: int = 0
+    rejoin_slot: Optional[int] = None
+    forgive_on_rejoin: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.offline_nodes:
+            raise ScenarioError("churn with no offline_nodes is meaningless")
+        if self.offline_slot < 0:
+            raise ScenarioError(
+                f"offline_slot must be non-negative, got {self.offline_slot}"
+            )
+        if self.rejoin_slot is not None and self.rejoin_slot <= self.offline_slot:
+            raise ScenarioError(
+                f"rejoin_slot {self.rejoin_slot} must come after "
+                f"offline_slot {self.offline_slot}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The slot-driven workload (§VI) a scenario runs.
+
+    Mirrors :class:`~repro.core.protocol.SlotSimulation`'s knobs plus
+    the sampling and drain behaviour the experiment loops used to
+    hand-roll: ``sample_slots`` are the slots at which the runner
+    snapshots storage/traffic series, ``run_until_quiet`` drains
+    in-flight validations after the last slot.
+    """
+
+    slots: int = 40
+    generation_period: Union[int, str] = 1
+    validate: bool = False
+    fetch_body: bool = False
+    validation_min_age_slots: Optional[int] = None
+    intra_slot_jitter: float = 0.3
+    run_until_quiet: bool = False
+    quiet_time: float = 50.0
+    sample_slots: Tuple[int, ...] = ()
+    churn: Optional[ChurnSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ScenarioError(f"slots must be positive, got {self.slots}")
+        if isinstance(self.generation_period, str):
+            if self.generation_period != RANDOM_1_2:
+                raise ScenarioError(
+                    f"unknown generation_period {self.generation_period!r}; "
+                    f"use an integer or {RANDOM_1_2!r}"
+                )
+        elif self.generation_period < 1:
+            raise ScenarioError(
+                f"generation_period must be >= 1, got {self.generation_period}"
+            )
+        if self.intra_slot_jitter < 0:
+            raise ScenarioError(
+                f"intra_slot_jitter must be non-negative, got {self.intra_slot_jitter}"
+            )
+        if self.sample_slots:
+            if list(self.sample_slots) != sorted(set(self.sample_slots)):
+                raise ScenarioError(
+                    f"sample_slots must be strictly increasing, got {self.sample_slots}"
+                )
+            if self.sample_slots[0] <= 0:
+                raise ScenarioError("sample_slots must be positive")
+            if self.sample_slots[-1] > self.slots:
+                raise ScenarioError(
+                    f"sample slot {self.sample_slots[-1]} exceeds the "
+                    f"{self.slots}-slot workload"
+                )
+        if self.churn is not None:
+            if self.churn.offline_slot >= self.slots:
+                raise ScenarioError(
+                    f"churn offline_slot {self.churn.offline_slot} is past the "
+                    f"{self.slots}-slot workload"
+                )
+            if self.churn.rejoin_slot is not None and self.churn.rejoin_slot >= self.slots:
+                raise ScenarioError(
+                    f"churn rejoin_slot {self.churn.rejoin_slot} is past the "
+                    f"{self.slots}-slot workload"
+                )
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One adversary in the scenario's roster.
+
+    Coalition kinds (``silent``, ``corrupt``, ``equivocating``,
+    ``selfish``) pick ``count`` nodes via
+    :func:`repro.attacks.majority.make_coalition` on the named stream,
+    sparing ``protect``.  ``eclipse`` installs the
+    :func:`repro.attacks.eclipse.eclipse_victim` drop rule around
+    ``victim``.  ``sybil`` fabricates ``count`` forged identities
+    controlled by ``attacker`` (exposed on the built runner — they
+    never enter the deployment, which is the point of the defence).
+    """
+
+    kind: str
+    count: int = 0
+    protect: Tuple[int, ...] = ()
+    stream_name: str = "coalition"
+    victim: int = -1
+    attacker: int = -1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ADVERSARY_KINDS:
+            raise ScenarioError(
+                f"unknown adversary kind {self.kind!r}; "
+                f"known: {', '.join(ADVERSARY_KINDS)}"
+            )
+        if self.kind in COALITION_KINDS and self.count <= 0:
+            raise ScenarioError(
+                f"{self.kind} coalition needs a positive count, got {self.count}"
+            )
+        if self.kind == "eclipse" and self.victim < 0:
+            raise ScenarioError("eclipse adversary needs a victim node id")
+        if self.kind == "sybil":
+            if self.attacker < 0:
+                raise ScenarioError("sybil adversary needs an attacker node id")
+            if self.count <= 0:
+                raise ScenarioError(
+                    f"sybil adversary needs a positive identity count, got {self.count}"
+                )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One complete, runnable 2LDAG scenario.
+
+    The whole run is declared here — hand a spec to
+    :class:`~repro.scenario.runner.ScenarioRunner` and nothing else is
+    needed.  ``scale`` optionally records the
+    :class:`~repro.experiments.common.ExperimentScale` a paper-figure
+    spec was derived from (``probes_per_sample`` and friends); the
+    authoritative topology/slot/seed values are always the explicit
+    fields.
+    """
+
+    name: str = "custom"
+    description: str = ""
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    adversaries: Tuple[AdversarySpec, ...] = ()
+    seed: int = 0
+    per_hop_latency: float = 0.001
+    scale: Optional[ExperimentScale] = None
+
+    def __post_init__(self) -> None:
+        size = self.topology.size
+        if self.protocol.gamma + 1 > size:
+            raise ScenarioError(
+                f"gamma={self.protocol.gamma} needs a consensus path of "
+                f"{self.protocol.gamma + 1} distinct nodes but the "
+                f"{self.topology.kind} topology only has {size}"
+            )
+        if self.per_hop_latency < 0:
+            raise ScenarioError(
+                f"per_hop_latency must be non-negative, got {self.per_hop_latency}"
+            )
+        for adversary in self.adversaries:
+            if adversary.kind in COALITION_KINDS:
+                eligible = size - len(set(adversary.protect))
+                if adversary.count > eligible:
+                    raise ScenarioError(
+                        f"{adversary.kind} coalition of {adversary.count} cannot "
+                        f"be drawn from {eligible} eligible nodes"
+                    )
+            if adversary.kind == "eclipse" and adversary.victim >= size:
+                raise ScenarioError(
+                    f"eclipse victim {adversary.victim} is not one of the "
+                    f"{size} topology nodes"
+                )
+            if adversary.kind == "sybil" and adversary.attacker >= size:
+                raise ScenarioError(
+                    f"sybil attacker {adversary.attacker} is not one of the "
+                    f"{size} topology nodes"
+                )
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """``|V|`` of the scenario's topology."""
+        return self.topology.size
+
+    def with_workload(self, **changes) -> "ScenarioSpec":
+        """Copy with workload fields replaced (validation re-runs)."""
+        return replace(self, workload=replace(self.workload, **changes))
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (round-trips through :meth:`from_dict`)."""
+        payload = dataclasses.asdict(self)
+        payload["format_version"] = SPEC_FORMAT_VERSION
+        if self.scale is None:
+            payload.pop("scale")
+        if self.workload.churn is None:
+            payload["workload"].pop("churn")
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        """The canonical JSON text of this spec."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_dict` output; validates fully."""
+        data = dict(payload)
+        version = data.pop("format_version", SPEC_FORMAT_VERSION)
+        if version != SPEC_FORMAT_VERSION:
+            raise ScenarioError(f"unsupported scenario format {version!r}")
+        known_top = {f.name for f in dataclasses.fields(cls)}
+        unknown_top = set(data) - known_top
+        if unknown_top:
+            raise ScenarioError(
+                f"unknown scenario field(s): {', '.join(sorted(unknown_top))}"
+            )
+
+        def build(cls_, section, **extra):
+            known = {f.name for f in dataclasses.fields(cls_)}
+            unknown = set(section) - known
+            if unknown:
+                raise ScenarioError(
+                    f"unknown {cls_.__name__} field(s): {', '.join(sorted(unknown))}"
+                )
+            merged = {**section, **extra}
+            for name, value in merged.items():
+                if isinstance(value, list):
+                    merged[name] = tuple(value)
+            return cls_(**merged)
+
+        workload_data = dict(data.get("workload", {}))
+        churn_data = workload_data.pop("churn", None)
+        churn = build(ChurnSpec, churn_data) if churn_data is not None else None
+        scale_data = data.pop("scale", None)
+        scale = None
+        if scale_data is not None:
+            scale = ExperimentScale(
+                **{**scale_data, "sample_slots": list(scale_data["sample_slots"])}
+            )
+        return cls(
+            name=data.get("name", "custom"),
+            description=data.get("description", ""),
+            protocol=build(ProtocolSpec, data.get("protocol", {})),
+            topology=build(TopologySpec, data.get("topology", {})),
+            workload=build(WorkloadSpec, workload_data, churn=churn),
+            adversaries=tuple(
+                build(AdversarySpec, adv) for adv in data.get("adversaries", [])
+            ),
+            seed=int(data.get("seed", 0)),
+            per_hop_latency=float(data.get("per_hop_latency", 0.001)),
+            scale=scale,
+        )
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path]) -> "ScenarioSpec":
+        """Load a spec from a JSON file written by :meth:`to_json`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the canonical JSON of this spec to ``path``."""
+        Path(path).write_text(self.to_json())

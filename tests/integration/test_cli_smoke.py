@@ -1,0 +1,144 @@
+"""CLI smoke tests: every ``python -m repro`` subcommand in quick mode.
+
+Each figure/report command runs at a deliberately tiny scenario scale
+(via ``--scenario`` with a generated spec file) so the whole module
+stays CI-friendly; the point is that no subcommand can silently rot,
+not numeric fidelity (the experiments suites cover that).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.scenario import ScenarioSpec, get_scenario, scenario_names
+
+
+@pytest.fixture(scope="module")
+def tiny_scenario_file(tmp_path_factory):
+    """A quickstart-derived spec small enough for figure sweeps."""
+    spec = get_scenario("quickstart").with_workload(
+        slots=12, validate=True, sample_slots=(6, 12), run_until_quiet=True
+    )
+    path = tmp_path_factory.mktemp("cli") / "tiny.json"
+    spec.save(path)
+    return str(path)
+
+
+class TestSimulate:
+    def test_inline_args(self, capsys):
+        code = main(["simulate", "--nodes", "9", "--slots", "5",
+                     "--gamma", "2", "--body-mb", "0.01"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "blocks generated: 45" in out
+        assert "trace sha256:" in out
+
+    def test_named_scenario(self, capsys):
+        code = main(["simulate", "--scenario", "quickstart"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario quickstart" in out
+
+    def test_scenario_file_reproduces_named_digest(self, capsys, tmp_path):
+        code = main(["scenarios", "show", "quickstart"])
+        exported = capsys.readouterr().out
+        assert code == 0
+        path = tmp_path / "s.json"
+        path.write_text(exported)
+
+        assert main(["simulate", "--scenario", str(path)]) == 0
+        from_file = capsys.readouterr().out
+        assert main(["simulate", "--scenario", "quickstart"]) == 0
+        from_name = capsys.readouterr().out
+        digest = [l for l in from_file.splitlines() if "trace sha256" in l]
+        assert digest and digest == [
+            l for l in from_name.splitlines() if "trace sha256" in l
+        ]
+
+    def test_unknown_scenario_errors(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--scenario", "no-such-preset"])
+
+
+class TestVerify:
+    def test_verify_quick(self, capsys):
+        code = main(["verify", "--nodes", "9", "--slots", "12",
+                     "--gamma", "2", "--body-mb", "0.01", "--target-slot", "0"])
+        assert code == 0
+        assert "SUCCESS" in capsys.readouterr().out
+
+    def test_verify_scenario(self, capsys):
+        code = main(["verify", "--scenario", "quickstart", "--target-slot", "1"])
+        assert code == 0
+        assert "consensus set" in capsys.readouterr().out
+
+
+class TestScenarios:
+    def test_list_names_every_preset(self, capsys):
+        code = main(["scenarios", "list"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for name in scenario_names():
+            assert name in out
+
+    def test_show_round_trips(self, capsys):
+        code = main(["scenarios", "show", "attack-majority"])
+        out = capsys.readouterr().out
+        assert code == 0
+        spec = ScenarioSpec.from_dict(json.loads(out))
+        assert spec == get_scenario("attack-majority")
+
+    def test_show_unknown_exits_2(self, capsys):
+        code = main(["scenarios", "show", "nope"])
+        assert code == 2
+        assert "known:" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_fig7(self, capsys, tiny_scenario_file):
+        code = main(["fig7", "--scenario", tiny_scenario_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2LDAG" in out and "PBFT" in out
+
+    def test_fig8(self, capsys, tiny_scenario_file):
+        code = main(["fig8", "--scenario", tiny_scenario_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Fig. 8(a)" in out and "2LDAG-33%" in out
+
+    def test_fig9(self, capsys, tiny_scenario_file):
+        code = main(["fig9", "--panel", "a", "--scenario", tiny_scenario_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "consensus failure probability" in out
+
+    def test_headline(self, capsys, tiny_scenario_file):
+        code = main(["headline", "--scenario", tiny_scenario_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "storage: PBFT/2LDAG" in out
+
+    def test_report(self, capsys, tiny_scenario_file, tmp_path):
+        out_path = tmp_path / "report.md"
+        code = main(["report", "--quick", "--scenario", tiny_scenario_file,
+                     "--output", str(out_path)])
+        assert code == 0
+        text = out_path.read_text()
+        assert "# 2LDAG reproduction report" in text
+        assert "## Headline claims" in text
+
+
+class TestBench:
+    def test_bench_single_op(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--fast", "--only", "kernel_callbacks",
+                     "--no-check", "--out", str(tmp_path / "b.json")])
+        assert code == 0
+        document = json.loads((tmp_path / "b.json").read_text())
+        assert "kernel_callbacks" in document["results"]
+
+    def test_bench_unknown_op_exits_2(self, capsys):
+        code = main(["bench", "--fast", "--only", "warp_drive"])
+        assert code == 2

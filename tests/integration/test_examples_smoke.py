@@ -1,0 +1,53 @@
+"""Examples smoke test: every ``examples/*.py`` runs at reduced scale.
+
+The examples are executed as real subprocesses (their own ``__main__``,
+their own asserts) with ``REPRO_EXAMPLE_QUICK=1``, which each example
+honours by shrinking its workload.  A redesign that breaks an example's
+imports, its scenario spec, or its assertions fails here instead of
+rotting silently.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """The parametrized list below must track the examples directory."""
+    assert [p.name for p in EXAMPLES] == [
+        "attack_resilience.py",
+        "digital_twin_audit.py",
+        "ledger_comparison.py",
+        "network_churn.py",
+        "partial_audit.py",
+        "quickstart.py",
+    ]
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_quick(example):
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_QUICK"] = "1"
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, (
+        f"{example.name} failed\nstdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert proc.stdout.strip(), f"{example.name} printed nothing"

@@ -1,0 +1,70 @@
+"""Preset registry: lookup, errors, and preset well-formedness."""
+
+import pytest
+
+from repro.scenario import (
+    ScenarioSpec,
+    bench_scenario,
+    fig7_scenario,
+    fig8_scenario,
+    fig9_scenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.experiments.common import ExperimentScale
+
+REQUIRED_PRESETS = {
+    "quickstart", "headline", "paper-fig7", "paper-fig8", "paper-fig9",
+    "attack-majority", "attack-eclipse", "attack-sybil",
+    "churn", "bench-fast", "bench-full",
+}
+
+
+class TestLookup:
+    def test_required_presets_registered(self):
+        assert REQUIRED_PRESETS <= set(scenario_names())
+
+    def test_unknown_name_raises_with_roster(self):
+        with pytest.raises(KeyError, match="quickstart"):
+            get_scenario("no-such-scenario")
+
+    def test_lookup_returns_fresh_specs(self):
+        assert get_scenario("quickstart") is not get_scenario("quickstart")
+
+    def test_every_preset_builds_and_round_trips(self):
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert spec.name == name
+            assert spec.description
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestBuilders:
+    def test_fig7_scenario_derives_gamma_from_scale(self):
+        scale = ExperimentScale(node_count=30, slots=20, sample_slots=[10, 20])
+        spec = fig7_scenario(0.5, scale)
+        assert spec.protocol.gamma == 10
+        assert spec.node_count == 30
+        assert spec.workload.sample_slots == (10, 20)
+        assert spec.scale == scale
+
+    def test_fig8_scenario_tolerance_fraction(self):
+        scale = ExperimentScale(node_count=50, slots=25, sample_slots=[25])
+        assert fig8_scenario(0.33, scale).protocol.gamma == 17
+        assert fig8_scenario(0.49, scale).protocol.gamma == 25
+
+    def test_fig9_scenario_seeds_by_malicious_count(self):
+        scale = ExperimentScale(node_count=16, slots=10, sample_slots=[10], seed=3)
+        spec = fig9_scenario(gamma=4, malicious=2, slots=12, scale=scale)
+        assert spec.seed == 5
+        assert spec.adversaries[0].kind == "silent"
+        assert spec.adversaries[0].count == 2
+        honest = fig9_scenario(gamma=4, malicious=0, slots=12, scale=scale)
+        assert honest.adversaries == ()
+
+    def test_bench_scenarios_match_golden_workload(self):
+        fast = bench_scenario(fast=True)
+        assert (fast.node_count, fast.workload.slots, fast.protocol.gamma) == (12, 25, 3)
+        assert fast.seed == 7
+        full = bench_scenario(fast=False)
+        assert (full.node_count, full.workload.slots, full.protocol.gamma) == (20, 100, 4)

@@ -1,0 +1,192 @@
+"""ScenarioSpec construction, validation, and JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    AdversarySpec,
+    ChurnSpec,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="test",
+        protocol=ProtocolSpec(body_bits=8_000, gamma=2),
+        topology=TopologySpec(kind="grid", rows=3, cols=3),
+        workload=WorkloadSpec(slots=10),
+        seed=1,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestValidation:
+    def test_bad_topology_kind(self):
+        with pytest.raises(ScenarioError, match="unknown topology kind"):
+            TopologySpec(kind="torus")
+
+    def test_negative_slots(self):
+        with pytest.raises(ScenarioError, match="slots must be positive"):
+            WorkloadSpec(slots=-5)
+
+    def test_zero_slots(self):
+        with pytest.raises(ScenarioError, match="slots must be positive"):
+            WorkloadSpec(slots=0)
+
+    def test_gamma_node_count_mismatch(self):
+        with pytest.raises(ScenarioError, match="gamma=9"):
+            small_spec(protocol=ProtocolSpec(body_bits=8_000, gamma=9))
+
+    def test_gamma_equal_to_quorum_capacity_is_allowed(self):
+        spec = small_spec(protocol=ProtocolSpec(body_bits=8_000, gamma=8))
+        assert spec.protocol.gamma + 1 == spec.node_count
+
+    def test_grid_needs_rows_and_cols(self):
+        with pytest.raises(ScenarioError, match="rows/cols"):
+            TopologySpec(kind="grid")
+
+    def test_nonpositive_node_count(self):
+        with pytest.raises(ScenarioError, match="node_count"):
+            TopologySpec(kind="ring", node_count=0)
+
+    def test_unknown_generation_period_string(self):
+        with pytest.raises(ScenarioError, match="generation_period"):
+            WorkloadSpec(slots=10, generation_period="random-3-4")
+
+    def test_sample_slots_must_fit_workload(self):
+        with pytest.raises(ScenarioError, match="exceeds"):
+            WorkloadSpec(slots=10, sample_slots=(5, 20))
+
+    def test_sample_slots_must_increase(self):
+        with pytest.raises(ScenarioError, match="increasing"):
+            WorkloadSpec(slots=10, sample_slots=(5, 5, 8))
+
+    def test_unknown_adversary_kind(self):
+        with pytest.raises(ScenarioError, match="unknown adversary kind"):
+            AdversarySpec(kind="bribery", count=2)
+
+    def test_coalition_needs_positive_count(self):
+        with pytest.raises(ScenarioError, match="positive count"):
+            AdversarySpec(kind="silent", count=0)
+
+    def test_coalition_cannot_exceed_eligible_nodes(self):
+        with pytest.raises(ScenarioError, match="cannot be drawn"):
+            small_spec(
+                protocol=ProtocolSpec(body_bits=8_000, gamma=2),
+                adversaries=(AdversarySpec(kind="silent", count=9, protect=(0,)),),
+            )
+
+    def test_eclipse_victim_must_exist(self):
+        with pytest.raises(ScenarioError, match="victim"):
+            small_spec(adversaries=(AdversarySpec(kind="eclipse", victim=99),))
+
+    def test_sybil_attacker_must_exist(self):
+        with pytest.raises(ScenarioError, match="attacker 99"):
+            small_spec(
+                adversaries=(AdversarySpec(kind="sybil", attacker=99, count=2),)
+            )
+
+    def test_churn_rejoin_after_offline(self):
+        with pytest.raises(ScenarioError, match="rejoin_slot"):
+            ChurnSpec(offline_nodes=(1,), offline_slot=10, rejoin_slot=5)
+
+    def test_churn_must_fit_workload(self):
+        with pytest.raises(ScenarioError, match="past the"):
+            small_spec(
+                workload=WorkloadSpec(
+                    slots=10,
+                    churn=ChurnSpec(offline_nodes=(1,), offline_slot=15),
+                )
+            )
+
+    def test_negative_reply_timeout(self):
+        with pytest.raises(ScenarioError, match="reply_timeout"):
+            ProtocolSpec(reply_timeout=-1.0)
+
+
+class TestRoundTrip:
+    def test_plain_spec(self):
+        spec = small_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_text(self):
+        spec = small_spec()
+        assert ScenarioSpec.from_dict(json.loads(spec.to_json())) == spec
+
+    def test_full_featured_spec(self):
+        spec = small_spec(
+            topology=TopologySpec(node_count=20, comm_range=60.0),
+            workload=WorkloadSpec(
+                slots=30,
+                generation_period="random-1-2",
+                validate=True,
+                sample_slots=(10, 20, 30),
+                churn=ChurnSpec(
+                    offline_nodes=(2, 4), offline_slot=10, rejoin_slot=20
+                ),
+            ),
+            adversaries=(
+                AdversarySpec(kind="silent", count=3, protect=(0, 1)),
+                AdversarySpec(kind="eclipse", victim=5),
+                AdversarySpec(kind="sybil", attacker=1, count=4),
+            ),
+            protocol=ProtocolSpec(body_bits=80_000, gamma=4, reply_timeout=0.05),
+        )
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert again.workload.churn.offline_nodes == (2, 4)
+        assert again.adversaries[1].victim == 5
+
+    def test_file_round_trip(self, tmp_path):
+        spec = small_spec()
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.from_file(path) == spec
+
+    def test_unknown_field_rejected(self):
+        payload = small_spec().to_dict()
+        payload["workload"]["warp_factor"] = 9
+        with pytest.raises(ScenarioError, match="warp_factor"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_top_level_field_rejected(self):
+        payload = small_spec().to_dict()
+        payload["adversarys"] = [{"kind": "silent", "count": 2}]
+        with pytest.raises(ScenarioError, match="adversarys"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_format_version_rejected(self):
+        payload = small_spec().to_dict()
+        payload["format_version"] = 99
+        with pytest.raises(ScenarioError, match="format"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_validation_runs_on_load(self):
+        payload = small_spec().to_dict()
+        payload["workload"]["slots"] = -3
+        with pytest.raises(ScenarioError, match="slots"):
+            ScenarioSpec.from_dict(payload)
+
+
+class TestDerived:
+    def test_node_count(self):
+        assert small_spec().node_count == 9
+        assert small_spec(
+            topology=TopologySpec(node_count=12)
+        ).node_count == 12
+
+    def test_with_workload(self):
+        spec = small_spec().with_workload(slots=5, validate=True)
+        assert spec.workload.slots == 5
+        assert spec.workload.validate
+        assert spec.protocol == small_spec().protocol
+
+    def test_body_mb(self):
+        assert ProtocolSpec.paper(gamma=3, body_mb=0.5).body_mb == 0.5
