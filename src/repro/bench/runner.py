@@ -312,12 +312,72 @@ def _micro_benchmarks(
 
 # -- the macro workload -------------------------------------------------------
 
-def _run_slot_sim(fast: bool, spec=None) -> BenchResult:
+def _slot_sim_result(spec, wall, events, blocks, validations, success_rate,
+                     trace_sha256, routed=False, cached=False) -> BenchResult:
+    metrics = {
+        "scenario": spec.name,
+        "nodes": spec.node_count,
+        "slots": spec.workload.slots,
+        "gamma": spec.protocol.gamma,
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "blocks": blocks,
+        "blocks_per_sec": blocks / wall if wall > 0 else 0.0,
+        "validations": validations,
+        "success_rate": success_rate,
+        "trace_sha256": trace_sha256,
+    }
+    if routed:
+        metrics["campaign_routed"] = True
+    if cached:
+        metrics["cached"] = True
+    return BenchResult(
+        name="slot_sim",
+        ns_per_op=wall * 1e9 / max(events, 1),
+        ops_per_sec=events / wall if wall > 0 else 0.0,
+        iterations=events,
+        rounds=1,
+        metrics=metrics,
+    )
+
+
+def _run_slot_sim(fast: bool, spec=None, executor=None) -> BenchResult:
+    """The macro workload, timed.
+
+    Without an executor the workload runs inline (timing only the slot
+    driving, exactly as the committed baselines were recorded).  With
+    one, the run is submitted as a campaign cell — the worker-side wall
+    time additionally covers deployment construction, so compare such
+    numbers only against baselines recorded the same way.
+    """
     from repro.bench.trace import slot_simulation_trace_digest
     from repro.scenario import ScenarioRunner, bench_scenario
 
     if spec is None:
         spec = bench_scenario(fast=fast)
+
+    if executor is not None:
+        from repro.campaign.executor import run_campaign
+        from repro.campaign.spec import CampaignSpec, CellSpec
+
+        campaign = CampaignSpec(
+            name="bench-slot-sim", cells=(CellSpec(scenario=spec),)
+        )
+        cell = run_campaign(campaign, executor).cells[0]
+        payload = cell.payload
+        return _slot_sim_result(
+            spec,
+            wall=cell.elapsed_s,
+            events=int(payload["events"]),
+            blocks=int(payload["total_blocks"]),
+            validations=int(payload["validations"]),
+            success_rate=float(payload["success_rate"]),
+            trace_sha256=str(payload["trace_sha256"]),
+            routed=True,
+            cached=cell.cached,
+        )
+
     runner = ScenarioRunner(spec).build()
     workload_spec = spec.workload
 
@@ -328,30 +388,15 @@ def _run_slot_sim(fast: bool, spec=None) -> BenchResult:
     wall = time.perf_counter() - start
 
     deployment, workload = runner.deployment, runner.workload
-    events = deployment.sim.processed_count
-    blocks = workload.total_blocks()
-    result = BenchResult(
-        name="slot_sim",
-        ns_per_op=wall * 1e9 / max(events, 1),
-        ops_per_sec=events / wall if wall > 0 else 0.0,
-        iterations=events,
-        rounds=1,
-        metrics={
-            "scenario": spec.name,
-            "nodes": spec.node_count,
-            "slots": workload_spec.slots,
-            "gamma": spec.protocol.gamma,
-            "wall_s": wall,
-            "events": events,
-            "events_per_sec": events / wall if wall > 0 else 0.0,
-            "blocks": blocks,
-            "blocks_per_sec": blocks / wall if wall > 0 else 0.0,
-            "validations": len(workload.validations),
-            "success_rate": workload.success_rate(),
-            "trace_sha256": slot_simulation_trace_digest(workload),
-        },
+    return _slot_sim_result(
+        spec,
+        wall=wall,
+        events=deployment.sim.processed_count,
+        blocks=workload.total_blocks(),
+        validations=len(workload.validations),
+        success_rate=workload.success_rate(),
+        trace_sha256=slot_simulation_trace_digest(workload),
     )
-    return result
 
 
 # -- orchestration ------------------------------------------------------------
@@ -361,12 +406,15 @@ def run_benchmarks(
     only: Optional[List[str]] = None,
     log: Callable[[str], None] = lambda _msg: None,
     slot_sim_spec=None,
+    executor=None,
 ) -> Dict[str, BenchResult]:
     """Run all (or ``only`` the named) benchmarks; returns name -> result.
 
     ``slot_sim_spec`` optionally replaces the macro workload's scenario
     (``python -m repro bench --scenario ...``); the default is the
-    registered ``bench-fast`` / ``bench-full`` preset.
+    registered ``bench-fast`` / ``bench-full`` preset.  ``executor``
+    routes the macro workload through the campaign engine (see
+    :func:`_run_slot_sim` for the timing caveat).
     """
     min_round_time = 0.005 if fast else 0.1
     rounds = 2 if fast else 5
@@ -379,7 +427,7 @@ def run_benchmarks(
         log(f"{name:<26} {result.ns_per_op:>14,.0f} ns/op "
             f"({result.ops_per_sec:>14,.0f} ops/s)")
     if not only or "slot_sim" in only:
-        result = _run_slot_sim(fast, spec=slot_sim_spec)
+        result = _run_slot_sim(fast, spec=slot_sim_spec, executor=executor)
         results["slot_sim"] = result
         metrics = result.metrics
         log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "
@@ -430,13 +478,18 @@ def compare_to_baseline(
     Returns ``(name, ratio, regressed)`` for every op present in both
     documents; ``ratio`` is ``current_ns / baseline_ns`` (>1 is slower)
     and ``regressed`` flags ratios above :data:`REGRESSION_FACTOR`.
-    The macro workload is compared on wall seconds.
+    The macro workload is compared on wall seconds — unless the current
+    run routed it through the campaign executor (``campaign_routed``),
+    whose wall time also covers deployment construction and is not
+    comparable to serially recorded baselines; that row is skipped.
     """
     rows: List[Tuple[str, float, bool]] = []
     current_results = current.get("results", {})
     baseline_results = baseline.get("results", {})
     for name in sorted(set(current_results) & set(baseline_results)):
         if name == "slot_sim":
+            if current_results[name].get("metrics", {}).get("campaign_routed"):
+                continue
             now = current_results[name].get("metrics", {}).get("wall_s")
             then = baseline_results[name].get("metrics", {}).get("wall_s")
         else:

@@ -1,0 +1,74 @@
+"""The campaign engine: parallel, cached, resumable scenario fleets.
+
+Where :mod:`repro.scenario` makes one run a pure function of a
+declarative spec, this package scales that property out: a
+:class:`CampaignSpec` is an ordered set of cells (scenario + cell kind
++ params), and a :class:`CampaignExecutor` runs them concurrently
+across worker processes, memoises each cell's result in a
+content-addressed on-disk cache, and journals completions so an
+interrupted fleet resumes where it left off.  Serial and parallel runs
+are byte-identical — only wall-clock changes.
+
+Entry points: ``python -m repro campaign run/status/clean`` and the
+``executor=`` parameter every multi-run experiment
+(``fig7``/``fig8``/``fig9``, the sweeps, the attack comparison, the
+bench macro) now accepts.  See ``docs/campaigns.md``.
+"""
+
+from repro.campaign.cache import (
+    CACHE_ENV_VAR,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.campaign.cells import (
+    cell_kind_names,
+    execute_cell,
+    register_cell_kind,
+    run_scenario_cells,
+)
+from repro.campaign.executor import (
+    CampaignExecutor,
+    CampaignResult,
+    CellResult,
+    run_campaign,
+)
+from repro.campaign.presets import (
+    campaign_names,
+    get_campaign,
+    register_campaign,
+)
+from repro.campaign.spec import (
+    CAMPAIGN_CODE_VERSION,
+    CAMPAIGN_FORMAT_VERSION,
+    CampaignError,
+    CampaignSpec,
+    CellSpec,
+    apply_override,
+    expand_grid,
+    replicate_seeds,
+)
+
+__all__ = [
+    "CACHE_ENV_VAR",
+    "CAMPAIGN_CODE_VERSION",
+    "CAMPAIGN_FORMAT_VERSION",
+    "CampaignError",
+    "CampaignExecutor",
+    "CampaignResult",
+    "CampaignSpec",
+    "CellResult",
+    "CellSpec",
+    "ResultCache",
+    "apply_override",
+    "campaign_names",
+    "cell_kind_names",
+    "default_cache_dir",
+    "execute_cell",
+    "expand_grid",
+    "get_campaign",
+    "register_campaign",
+    "register_cell_kind",
+    "replicate_seeds",
+    "run_campaign",
+    "run_scenario_cells",
+]

@@ -1,0 +1,165 @@
+"""Content-addressed on-disk cache of cell results, plus run journals.
+
+This is the repository's first durable artifact store.  Layout under
+the cache root (``$REPRO_CACHE_DIR`` or ``.repro_cache/``)::
+
+    cells/<d2>/<digest>.json       one finished cell's payload envelope
+    journal/<campaign>.jsonl       append-only per-run completion log
+
+Cell entries are keyed purely by the cell's content digest (spec +
+kind + params + code version — see
+:meth:`~repro.campaign.spec.CellSpec.digest`), so the cache needs no
+invalidation logic: changing anything about a cell changes its key,
+and stale entries are simply never read again.  Envelopes that are
+unreadable, truncated, or carry a different format/code version load
+as misses — a killed worker can at worst waste one recompute, never
+poison a result (writes are atomic via
+:func:`~repro.experiments.persistence.atomic_write_text`).
+
+Journals are the resume/status record: one JSON line per event
+(``start``, ``cell``, ``end``).  Appends are single ``write`` calls of
+one line; a torn final line from a crash is skipped on read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.spec import CAMPAIGN_CODE_VERSION, CellSpec
+from repro.experiments.persistence import atomic_write_text
+
+#: Format marker for cache envelopes; mismatches load as cache misses.
+CACHE_FORMAT_VERSION = 1
+
+#: Environment override for the cache root.
+CACHE_ENV_VAR = "REPRO_CACHE_DIR"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIRNAME = ".repro_cache"
+
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
+    override = os.environ.get(CACHE_ENV_VAR)
+    return Path(override) if override else Path(DEFAULT_CACHE_DIRNAME)
+
+
+class ResultCache:
+    """Durable store of finished cell payloads, keyed by content digest."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def cells_dir(self) -> Path:
+        return self.root / "cells"
+
+    @property
+    def journal_dir(self) -> Path:
+        return self.root / "journal"
+
+    def cell_path(self, digest: str) -> Path:
+        """Where the envelope for ``digest`` lives (2-char shard dirs)."""
+        return self.cells_dir / digest[:2] / f"{digest}.json"
+
+    # -- cell entries ------------------------------------------------------
+    def load(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The stored envelope for ``digest``, or ``None`` on any miss.
+
+        Anything wrong — absent file, truncated JSON, foreign format or
+        code version, digest mismatch — is a miss, never an error: the
+        executor recomputes and overwrites.
+        """
+        try:
+            document = json.loads(self.cell_path(digest).read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("format_version") != CACHE_FORMAT_VERSION:
+            return None
+        if document.get("code_version") != CAMPAIGN_CODE_VERSION:
+            return None
+        if document.get("cell_digest") != digest:
+            return None
+        if not isinstance(document.get("payload"), dict):
+            return None
+        return document
+
+    def store(
+        self, digest: str, cell: CellSpec, payload: Dict[str, Any], elapsed_s: float
+    ) -> None:
+        """Atomically persist one finished cell's payload."""
+        document = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "code_version": CAMPAIGN_CODE_VERSION,
+            "cell_digest": digest,
+            "kind": cell.kind,
+            "scenario": cell.scenario.name,
+            "elapsed_s": elapsed_s,
+            "payload": payload,
+        }
+        path = self.cell_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+    def remove(self, digest: str) -> bool:
+        """Drop one entry; ``True`` if it existed."""
+        try:
+            self.cell_path(digest).unlink()
+            return True
+        except OSError:
+            return False
+
+    def clear(self) -> int:
+        """Drop every cell entry and journal; returns entries removed."""
+        removed = 0
+        if self.cells_dir.is_dir():
+            removed = sum(1 for _ in self.cells_dir.glob("*/*.json"))
+            shutil.rmtree(self.cells_dir)
+        if self.journal_dir.is_dir():
+            shutil.rmtree(self.journal_dir)
+        return removed
+
+    # -- journals ----------------------------------------------------------
+    def journal_path(self, campaign_digest: str) -> Path:
+        return self.journal_dir / f"{campaign_digest}.jsonl"
+
+    def append_journal(self, campaign_digest: str, record: Dict[str, Any]) -> None:
+        """Append one event line to the campaign's journal."""
+        path = self.journal_path(campaign_digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def read_journal(self, campaign_digest: str) -> List[Dict[str, Any]]:
+        """Every parseable journal event, oldest first."""
+        try:
+            text = self.journal_path(campaign_digest).read_text()
+        except OSError:
+            return []
+        events: List[Dict[str, Any]] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a crash
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+    def remove_journal(self, campaign_digest: str) -> bool:
+        """Drop one campaign's journal; ``True`` if it existed."""
+        try:
+            self.journal_path(campaign_digest).unlink()
+            return True
+        except OSError:
+            return False

@@ -1,0 +1,277 @@
+"""Parallel, cached, resumable execution of campaign cells.
+
+:class:`CampaignExecutor` is a service object (construct once, run
+many campaigns) with three independent capabilities:
+
+* **parallelism** — with ``workers >= 2``, pending cells fan out
+  across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Every
+  cell is a pure function of its spec (its scenario carries its own
+  master seed, and all randomness flows through
+  :class:`~repro.sim.rng.RandomStreams`), so results — trace digests
+  included — are byte-identical to a serial run; only wall-clock
+  changes.  The default ``workers=0`` runs cells in-process, in order,
+  preserving the exact historical behaviour.
+* **caching** — with ``use_cache=True`` each finished cell's payload
+  is persisted to the content-addressed :class:`ResultCache`; a later
+  run of any campaign containing that cell (same digest) is served
+  from disk without executing.  ``force=True`` recomputes and
+  overwrites.
+* **resumability** — because completion is journalled and cached
+  per-cell, an interrupted campaign re-run computes only the cells
+  that never finished; completed cells replay from the cache.
+
+Results always come back in campaign order, regardless of worker
+completion order, so downstream consumers see deterministic output.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.cache import ResultCache
+from repro.campaign.cells import execute_cell
+from repro.campaign.spec import CampaignError, CampaignSpec, CellSpec
+
+
+def _cell_worker(cell_payload: Dict[str, Any]) -> Tuple[Dict[str, Any], float]:
+    """Execute one serialized cell; module-level so workers can pickle it.
+
+    The serial path calls this same function, which is what guarantees
+    parallel and serial runs compute byte-identical payloads.
+    """
+    cell = CellSpec.from_dict(cell_payload)
+    start = time.perf_counter()
+    payload = execute_cell(cell)
+    return payload, time.perf_counter() - start
+
+
+@dataclass
+class CellResult:
+    """One cell's outcome within a finished campaign run."""
+
+    index: int
+    cell: CellSpec
+    digest: str
+    payload: Dict[str, Any]
+    cached: bool
+    elapsed_s: float
+
+    @property
+    def trace_sha256(self) -> str:
+        """The canonical trace digest, when the payload carries one."""
+        value = self.payload.get("trace_sha256", "")
+        return value if isinstance(value, str) else ""
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished campaign run produced, in campaign order."""
+
+    campaign: CampaignSpec
+    digest: str
+    workers: int
+    wall_s: float
+    cells: List[CellResult] = field(default_factory=list)
+
+    @property
+    def computed_count(self) -> int:
+        return sum(1 for cell in self.cells if not cell.cached)
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for cell in self.cells if cell.cached)
+
+    def payloads(self) -> List[Dict[str, Any]]:
+        """The raw cell payloads, in campaign order."""
+        return [cell.payload for cell in self.cells]
+
+    def summary(self) -> str:
+        """One line for humans: cells, hit/compute split, wall time."""
+        mode = f"{self.workers} workers" if self.workers >= 2 else "serial"
+        return (
+            f"campaign {self.campaign.name}: {len(self.cells)} cells "
+            f"({self.computed_count} computed, {self.cached_count} cached) "
+            f"in {self.wall_s:.2f}s ({mode})"
+        )
+
+
+class CampaignExecutor:
+    """Runs campaigns: fan-out across workers, memoise on disk, journal.
+
+    Parameters
+    ----------
+    workers:
+        Process count for pending cells; ``0``/``1`` run serially
+        in-process (the default — current behaviour and golden digests
+        are preserved).
+    cache_dir:
+        Result-cache root; defaults to ``$REPRO_CACHE_DIR`` or
+        ``./.repro_cache``.
+    use_cache:
+        ``False`` disables both the cache and the journal — every cell
+        computes, nothing is persisted (what experiment entry points
+        use unless the caller opts in).
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache_dir: Union[str, None] = None,
+        use_cache: bool = True,
+    ) -> None:
+        self.workers = max(0, int(workers or 0))
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if use_cache else None
+        )
+
+    # -- execution ---------------------------------------------------------
+    def run(
+        self,
+        campaign: CampaignSpec,
+        force: bool = False,
+        log: Optional[Callable[[str], None]] = None,
+    ) -> CampaignResult:
+        """Execute ``campaign``; cached cells replay, the rest compute.
+
+        ``force=True`` ignores (and overwrites) cached entries.  ``log``
+        receives one progress line per cell as it completes.
+        """
+        emit = log or (lambda _message: None)
+        start = time.perf_counter()
+        total = len(campaign.cells)
+        digests = [cell.digest() for cell in campaign.cells]
+        campaign_digest = campaign.digest()
+
+        results: Dict[int, CellResult] = {}
+        pending: List[int] = []
+        for index, (cell, digest) in enumerate(zip(campaign.cells, digests)):
+            document = None
+            if not force and self.cache is not None:
+                document = self.cache.load(digest)
+            if document is not None:
+                results[index] = CellResult(
+                    index=index,
+                    cell=cell,
+                    digest=digest,
+                    payload=document["payload"],
+                    cached=True,
+                    elapsed_s=float(document.get("elapsed_s") or 0.0),
+                )
+                emit(f"[{index + 1}/{total}] {cell.label}: cached ({digest[:12]})")
+            else:
+                pending.append(index)
+
+        if self.cache is not None and pending:
+            self.cache.append_journal(campaign_digest, {
+                "event": "start",
+                "campaign": campaign.name,
+                "cells": total,
+                "pending": len(pending),
+                "workers": self.workers,
+            })
+
+        def complete(index: int, payload: Dict[str, Any], elapsed: float) -> None:
+            cell, digest = campaign.cells[index], digests[index]
+            if self.cache is not None:
+                self.cache.store(digest, cell, payload, elapsed)
+                self.cache.append_journal(campaign_digest, {
+                    "event": "cell",
+                    "index": index,
+                    "digest": digest,
+                    "label": cell.label,
+                    "elapsed_s": round(elapsed, 6),
+                })
+            results[index] = CellResult(
+                index=index,
+                cell=cell,
+                digest=digest,
+                payload=payload,
+                cached=False,
+                elapsed_s=elapsed,
+            )
+            emit(
+                f"[{index + 1}/{total}] {cell.label}: "
+                f"computed in {elapsed:.2f}s ({digest[:12]})"
+            )
+
+        if pending and self.workers >= 2:
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending))
+            ) as pool:
+                futures = {
+                    pool.submit(_cell_worker, campaign.cells[index].to_dict()): index
+                    for index in pending
+                }
+                for future in as_completed(futures):
+                    index = futures[future]
+                    try:
+                        payload, elapsed = future.result()
+                    except Exception as error:
+                        for other in futures:
+                            other.cancel()
+                        raise CampaignError(
+                            f"cell {campaign.cells[index].label!r} failed: {error}"
+                        ) from error
+                    complete(index, payload, elapsed)
+        else:
+            for index in pending:
+                try:
+                    payload, elapsed = _cell_worker(campaign.cells[index].to_dict())
+                except Exception as error:
+                    raise CampaignError(
+                        f"cell {campaign.cells[index].label!r} failed: {error}"
+                    ) from error
+                complete(index, payload, elapsed)
+
+        wall = time.perf_counter() - start
+        if self.cache is not None and pending:
+            self.cache.append_journal(campaign_digest, {
+                "event": "end",
+                "computed": len(pending),
+                "wall_s": round(wall, 6),
+            })
+        return CampaignResult(
+            campaign=campaign,
+            digest=campaign_digest,
+            workers=self.workers,
+            wall_s=wall,
+            cells=[results[index] for index in range(total)],
+        )
+
+    # -- inspection / maintenance -----------------------------------------
+    def status(self, campaign: CampaignSpec) -> List[Tuple[CellSpec, str, bool]]:
+        """Per-cell ``(cell, digest, cached)`` without executing anything."""
+        rows: List[Tuple[CellSpec, str, bool]] = []
+        for cell in campaign.cells:
+            digest = cell.digest()
+            cached = self.cache is not None and self.cache.load(digest) is not None
+            rows.append((cell, digest, cached))
+        return rows
+
+    def clean(self, campaign: CampaignSpec) -> int:
+        """Drop the campaign's cached cells and journal; entries removed."""
+        if self.cache is None:
+            return 0
+        removed = sum(
+            1 for cell in campaign.cells if self.cache.remove(cell.digest())
+        )
+        self.cache.remove_journal(campaign.digest())
+        return removed
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    executor: Optional[CampaignExecutor] = None,
+    **run_kwargs: Any,
+) -> CampaignResult:
+    """Run ``campaign``; without an executor, serially and cache-free.
+
+    The helper every experiment entry point calls: passing no executor
+    reproduces the historical single-process behaviour exactly, while a
+    configured executor layers in parallelism, caching and journaling.
+    """
+    runner = executor if executor is not None else CampaignExecutor(use_cache=False)
+    return runner.run(campaign, **run_kwargs)

@@ -5,7 +5,11 @@ Run as ``python -m repro <command>``:
 * ``simulate``  — run a scenario's slot workload and print a summary
   (including the canonical trace digest);
 * ``verify``    — run one PoP verification and print the outcome;
-* ``scenarios`` — ``list`` the named presets or ``show`` one as JSON;
+* ``scenarios`` — ``list`` the named presets, ``show`` one as JSON, or
+  ``validate`` a hand-written spec file without running it;
+* ``campaign``  — ``run``/``status``/``clean`` a fleet of scenario
+  cells through the parallel, cached, resumable campaign engine
+  (see ``docs/campaigns.md``);
 * ``fig7`` / ``fig8`` / ``fig9`` — regenerate a paper figure as a text
   table (and ASCII chart);
 * ``headline``  — print the abstract's measured ratios;
@@ -15,15 +19,21 @@ Run as ``python -m repro <command>``:
 
 Every workload-running subcommand accepts ``--scenario NAME`` (a
 registry preset) or ``--scenario file.json`` (a spec exported with
-``scenarios show``); see ``docs/scenarios.md``.  Examples::
+``scenarios show``); see ``docs/scenarios.md``.  The global
+``--workers N`` flag (before the subcommand) fans multi-run commands
+out across worker processes — the default stays serial, preserving
+current behaviour and golden digests.  Examples::
 
     python -m repro simulate --nodes 25 --slots 40 --gamma 8
     python -m repro simulate --scenario quickstart
     python -m repro scenarios show quickstart > s.json
+    python -m repro scenarios validate s.json
     python -m repro simulate --scenario s.json
     python -m repro verify --nodes 16 --slots 20 --gamma 4 --target-slot 2
     python -m repro fig7 --body-mb 0.5 --quick
-    python -m repro fig9 --panel d --quick
+    python -m repro --workers 4 fig9 --panel d --quick
+    python -m repro --workers 4 campaign run bench-grid
+    python -m repro campaign status bench-grid
 """
 
 from __future__ import annotations
@@ -85,6 +95,25 @@ def _scenario_spec(args, validate: bool = False, run_until_quiet: bool = False) 
     if args.scenario:
         return _load_scenario(args.scenario)
     return _inline_spec(args, validate=validate, run_until_quiet=run_until_quiet)
+
+
+def _executor_from_args(args, use_cache: Optional[bool] = None):
+    """The campaign executor the global flags describe, or ``None``.
+
+    ``None`` (no ``--workers``, no ``--cache-dir``) keeps multi-run
+    commands on their historical serial in-process path.  An explicit
+    ``--cache-dir`` opts the command into the result cache; callers may
+    force ``use_cache`` off (the bench gate must always measure).
+    """
+    workers = getattr(args, "workers", 0) or 0
+    cache_dir = getattr(args, "cache_dir", None)
+    if use_cache is None:
+        use_cache = cache_dir is not None
+    if workers <= 1 and not use_cache:
+        return None
+    from repro.campaign import CampaignExecutor
+
+    return CampaignExecutor(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
 
 
 def _spec_scale(spec: ScenarioSpec) -> ExperimentScale:
@@ -166,12 +195,25 @@ def cmd_verify(args) -> int:
 
 
 def cmd_scenarios(args) -> int:
-    """List the scenario presets, or print one as replayable JSON."""
+    """List the scenario presets, print one as JSON, or validate a file."""
     if args.action == "list":
         width = max(len(name) for name in scenario_names())
         for name in scenario_names():
             spec = get_scenario(name)
             print(f"{name:<{width}}  {spec.description}")
+        return 0
+    if args.action == "validate":
+        try:
+            spec = ScenarioSpec.from_file(args.file)
+        except FileNotFoundError:
+            print(f"scenario file not found: {args.file}", file=sys.stderr)
+            return 2
+        except (ScenarioError, ValueError) as error:
+            print(f"INVALID {args.file}: {error}", file=sys.stderr)
+            return 2
+        print(f"OK {args.file}: scenario {spec.name!r} "
+              f"({spec.node_count} nodes, {spec.workload.slots} slots, "
+              f"gamma {spec.protocol.gamma}, seed {spec.seed})")
         return 0
     # show
     try:
@@ -184,13 +226,90 @@ def cmd_scenarios(args) -> int:
     return 0
 
 
+def _load_campaign(value: str):
+    """Resolve campaign input: a JSON document path or a preset name."""
+    from repro.campaign import CampaignError, CampaignSpec, campaign_names, get_campaign
+
+    if value.endswith(".json") or os.path.sep in value or os.path.exists(value):
+        try:
+            return CampaignSpec.from_file(value)
+        except FileNotFoundError:
+            raise SystemExit(f"campaign file not found: {value}")
+        except (CampaignError, ScenarioError, ValueError) as error:
+            raise SystemExit(f"invalid campaign file {value}: {error}")
+    try:
+        return get_campaign(value)
+    except KeyError:
+        raise SystemExit(
+            f"unknown campaign {value!r}; known: {', '.join(campaign_names())}"
+        )
+
+
+def cmd_campaign(args) -> int:
+    """Run, inspect, or clean a campaign of scenario cells."""
+    from repro.campaign import CampaignError, CampaignExecutor, campaign_names, get_campaign
+
+    if args.action == "list":
+        width = max(len(name) for name in campaign_names())
+        for name in campaign_names():
+            campaign = get_campaign(name)
+            print(f"{name:<{width}}  {len(campaign.cells):>3} cells  "
+                  f"{campaign.description}")
+        return 0
+    if args.action == "show":
+        sys.stdout.write(_load_campaign(args.spec).to_json())
+        return 0
+
+    campaign = _load_campaign(args.spec)
+    executor = CampaignExecutor(
+        workers=getattr(args, "workers", 0) or 0,
+        cache_dir=args.cache_dir,
+        use_cache=not getattr(args, "no_cache", False),
+    )
+
+    if args.action == "status":
+        rows = executor.status(campaign)
+        done = sum(1 for _cell, _digest, cached in rows if cached)
+        for cell, digest, cached in rows:
+            print(f"  {'done   ' if cached else 'pending'}  {cell.label:<40} "
+                  f"{digest[:12]}")
+        print(f"campaign {campaign.name}: {done}/{len(rows)} cells cached "
+              f"({len(rows) - done} to compute)")
+        events = executor.cache.read_journal(campaign.digest()) if executor.cache else []
+        if events:
+            last = events[-1]
+            print(f"last journal event: {last.get('event')} "
+                  f"({executor.cache.journal_path(campaign.digest())})")
+        return 0
+
+    if args.action == "clean":
+        removed = executor.clean(campaign)
+        print(f"campaign {campaign.name}: removed {removed} cached cell(s)")
+        return 0
+
+    # run
+    try:
+        result = executor.run(campaign, force=getattr(args, "force", False), log=print)
+    except CampaignError as error:
+        print(f"campaign failed: {error}", file=sys.stderr)
+        return 1
+    print()
+    for cell in result.cells:
+        source = "cached  " if cell.cached else f"{cell.elapsed_s:6.2f}s "
+        trace = cell.trace_sha256[:16] or "-"
+        print(f"  {cell.cell.label:<40} {source} trace {trace}")
+    print(result.summary())
+    return 0
+
+
 def cmd_fig7(args) -> int:
     """Regenerate a Fig. 7 storage panel."""
     from repro.experiments.fig7_storage import run_fig7
 
     spec = _load_scenario(args.scenario) if args.scenario else None
     body_mb = spec.protocol.body_mb if spec is not None else args.body_mb
-    result = run_fig7(body_mb, _scale_from_args(args, spec))
+    result = run_fig7(body_mb, _scale_from_args(args, spec),
+                      executor=_executor_from_args(args))
     print(f"Fig. 7 storage overhead, C = {body_mb} MB (per-node MB)\n")
     print(result.to_table())
     print()
@@ -203,7 +322,7 @@ def cmd_fig8(args) -> int:
     """Regenerate the Fig. 8 communication panels."""
     from repro.experiments.fig8_comm import run_fig8
 
-    result = run_fig8(_scale_from_args(args))
+    result = run_fig8(_scale_from_args(args), executor=_executor_from_args(args))
     for panel, title in (("a", "overall"), ("b", "DAG construction"),
                          ("c", "consensus")):
         print(f"\nFig. 8({panel}) {title} (per-node Mbit)")
@@ -225,7 +344,8 @@ def cmd_fig9(args) -> int:
         round(m * scale.node_count / 50) for m in spec["malicious_counts"]
     })
     malicious = [m for m in malicious if m <= gamma]
-    result = run_fig9(gamma, malicious, scale=scale)
+    result = run_fig9(gamma, malicious, scale=scale,
+                      executor=_executor_from_args(args))
     print(f"Fig. 9({args.panel}) consensus failure probability, gamma={gamma}\n")
     print(result.to_table())
     for m in malicious:
@@ -259,12 +379,13 @@ def cmd_bench(args) -> int:
     results = bench_runner.run_benchmarks(
         fast=fast, only=args.only or None, log=print,
         slot_sim_spec=slot_sim_spec,
+        executor=_executor_from_args(args, use_cache=False),
     )
     document = bench_runner.results_to_json(results, fast=fast)
     out_path = args.out or bench_runner.default_output_name(document["rev"])
-    with open(out_path, "w") as handle:
-        json.dump(document, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    from repro.experiments.persistence import atomic_write_text
+
+    atomic_write_text(out_path, json.dumps(document, indent=2, sort_keys=True) + "\n")
     print(f"\nresults written to {out_path}")
 
     if args.no_check:
@@ -298,6 +419,7 @@ def cmd_report(args) -> int:
         _scale_from_args(args),
         fig7_bodies=[0.5] if args.quick else None,
         fig9_panels=["a", "d"] if args.quick else None,
+        executor=_executor_from_args(args),
     )
     markdown = report.to_markdown()
     if args.output:
@@ -311,9 +433,21 @@ def cmd_report(args) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="2LDAG reproduction toolkit"
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="worker processes for multi-run commands "
+                             "(default: serial in-process)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="enable the campaign result cache rooted at DIR "
+                             "for multi-run commands (the campaign subcommand "
+                             "always caches, defaulting to $REPRO_CACHE_DIR "
+                             "or .repro_cache)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     def scenario_arg(p):
@@ -341,7 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--target-slot", type=int, default=0)
     p.set_defaults(fn=cmd_verify)
 
-    p = sub.add_parser("scenarios", help="list or export the scenario presets")
+    p = sub.add_parser("scenarios", help="list, export or validate scenario specs")
     scenario_sub = p.add_subparsers(dest="action", required=True)
     p_list = scenario_sub.add_parser("list", help="name + description per preset")
     p_list.set_defaults(fn=cmd_scenarios, action="list")
@@ -350,6 +484,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_show.add_argument("name")
     p_show.set_defaults(fn=cmd_scenarios, action="show")
+    p_validate = scenario_sub.add_parser(
+        "validate", help="check a spec file loads and validates, without running it"
+    )
+    p_validate.add_argument("file")
+    p_validate.set_defaults(fn=cmd_scenarios, action="validate")
+
+    p = sub.add_parser(
+        "campaign",
+        help="run fleets of scenario cells: parallel, cached, resumable",
+    )
+    campaign_sub = p.add_subparsers(dest="action", required=True)
+    p_clist = campaign_sub.add_parser("list", help="the named campaign presets")
+    p_clist.set_defaults(fn=cmd_campaign, action="list")
+    p_cshow = campaign_sub.add_parser(
+        "show", help="print a campaign (preset or file) fully expanded as JSON"
+    )
+    p_cshow.add_argument("spec", metavar="NAME|FILE")
+    p_cshow.set_defaults(fn=cmd_campaign, action="show")
+
+    def campaign_common(cp):
+        cp.add_argument("spec", metavar="NAME|FILE",
+                        help="a campaign preset name (see 'campaign list') or "
+                             "a campaign JSON document")
+        cp.add_argument("--cache-dir", default=argparse.SUPPRESS, metavar="DIR",
+                        help="result-cache root (overrides the global flag)")
+
+    p_run = campaign_sub.add_parser(
+        "run", help="execute the campaign (cached cells replay from disk)"
+    )
+    campaign_common(p_run)
+    p_run.add_argument("--workers", type=int, default=argparse.SUPPRESS,
+                       metavar="N", help="worker processes (overrides the "
+                                         "global flag; default serial)")
+    p_run.add_argument("--force", action="store_true",
+                       help="recompute every cell, overwriting cached entries")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="compute without reading or writing the cache")
+    p_run.set_defaults(fn=cmd_campaign, action="run")
+    p_status = campaign_sub.add_parser(
+        "status", help="per-cell cached/pending report; nothing executes"
+    )
+    campaign_common(p_status)
+    p_status.set_defaults(fn=cmd_campaign, action="status")
+    p_clean = campaign_sub.add_parser(
+        "clean", help="drop the campaign's cached cells and journal"
+    )
+    campaign_common(p_clean)
+    p_clean.set_defaults(fn=cmd_campaign, action="clean")
 
     p = sub.add_parser("bench", help="run the performance benchmark harness")
     scenario_arg(p)

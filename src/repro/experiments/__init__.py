@@ -10,6 +10,15 @@ prints the rows the paper plots.  The benchmark harness under
 * :mod:`repro.experiments.fig9_consensus` — Fig. 9(a)-(d): consensus
   failure probability under malicious coalitions.
 * :mod:`repro.experiments.headline` — the abstract's headline ratios.
+* :mod:`repro.experiments.sweeps` — γ and density sweeps beyond the
+  figures.
+* :mod:`repro.experiments.attack_compare` — the PoP audit scoreboard
+  across the adversary roster.
+
+Multi-run experiments accept an ``executor=`` (a
+:class:`~repro.campaign.executor.CampaignExecutor`) to fan their cells
+out across worker processes and memoise results — see
+``docs/campaigns.md``.
 """
 
 from repro.experiments.common import ExperimentScale
@@ -21,12 +30,15 @@ from repro.experiments.common import ExperimentScale
 _LAZY = {
     "Fig7Result": "repro.experiments.fig7_storage",
     "run_fig7": "repro.experiments.fig7_storage",
+    "run_fig7_panels": "repro.experiments.fig7_storage",
     "Fig8Result": "repro.experiments.fig8_comm",
     "run_fig8": "repro.experiments.fig8_comm",
     "Fig9Result": "repro.experiments.fig9_consensus",
     "run_fig9": "repro.experiments.fig9_consensus",
     "HeadlineResult": "repro.experiments.headline",
     "run_headline": "repro.experiments.headline",
+    "AttackAuditPoint": "repro.experiments.attack_compare",
+    "run_attack_comparison": "repro.experiments.attack_compare",
 }
 
 
@@ -40,12 +52,15 @@ def __getattr__(name):
 
 
 __all__ = [
+    "AttackAuditPoint",
     "ExperimentScale",
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
     "HeadlineResult",
+    "run_attack_comparison",
     "run_fig7",
+    "run_fig7_panels",
     "run_fig8",
     "run_fig9",
     "run_headline",

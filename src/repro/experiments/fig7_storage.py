@@ -10,19 +10,29 @@ C = 0.5 MB.
 runner samples the storage series); the baselines use their validated
 closed-form cost models (every node stores every block — see
 :mod:`repro.baselines`).
+
+Panels are campaign cells: :func:`run_fig7_panels` submits one
+``scenario`` cell per body size, so passing a configured
+:class:`~repro.campaign.executor.CampaignExecutor` runs the three
+panels concurrently (and caches them); the default stays serial and
+in-process.  The cost-model topology is rebuilt deterministically from
+the spec's seed — named random streams guarantee it matches the
+worker-side deployment exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.baselines.iota.costmodel import IotaCostModel
 from repro.baselines.pbft.costmodel import PbftCostModel
+from repro.campaign.cells import run_scenario_cells
 from repro.experiments.common import ExperimentScale
 from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.reporting import format_series_table
-from repro.scenario import ScenarioRunner, fig7_scenario
+from repro.scenario import build_topology, fig7_scenario
+from repro.sim.rng import RandomStreams
 
 
 @dataclass
@@ -44,8 +54,12 @@ class Fig7Result:
         return format_series_table("slots", self.sample_slots, self.series_mb)
 
 
-def run_fig7(body_mb: float, scale: Optional[ExperimentScale] = None) -> Fig7Result:
-    """Produce one Fig. 7 panel for body size ``body_mb``.
+def run_fig7_panels(
+    bodies: Sequence[float],
+    scale: Optional[ExperimentScale] = None,
+    executor=None,
+) -> Dict[float, Fig7Result]:
+    """Produce one Fig. 7 panel per body size, as one campaign.
 
     Every node generates one block per slot (``C/r_i = 1``, the
     caption's workload); 2LDAG nodes additionally validate one old
@@ -54,35 +68,43 @@ def run_fig7(body_mb: float, scale: Optional[ExperimentScale] = None) -> Fig7Res
     """
     if scale is None:
         scale = ExperimentScale.from_env()
+    specs = [fig7_scenario(body_mb, scale) for body_mb in bodies]
+    measured_results = run_scenario_cells(specs, executor, name="fig7")
 
-    runner = ScenarioRunner(fig7_scenario(body_mb, scale))
-    measured = runner.run()
-    deployment = runner.deployment
+    panels: Dict[float, Fig7Result] = {}
+    for body_mb, spec, measured in zip(bodies, specs, measured_results):
+        # The cell ran in a worker; rebuild the cost-model topology from
+        # the spec's own named stream — identical draws by construction.
+        topology = build_topology(spec.topology, RandomStreams(spec.seed))
+        pbft = PbftCostModel(topology, spec.protocol.body_bits)
+        iota = IotaCostModel(topology, spec.protocol.body_bits)
+        panels[body_mb] = Fig7Result(
+            body_mb=body_mb,
+            sample_slots=list(scale.sample_slots),
+            series_mb={
+                "PBFT": pbft.storage_series_mb(scale.sample_slots),
+                "IOTA": iota.storage_series_mb(scale.sample_slots),
+                "2LDAG": list(measured.storage_mb),
+            },
+            per_node_mb_final=list(measured.per_node_storage_mb),
+            scale=scale,
+        )
+    return panels
 
-    pbft = PbftCostModel(deployment.topology, deployment.config.body_bits)
-    iota = IotaCostModel(deployment.topology, deployment.config.body_bits)
 
-    return Fig7Result(
-        body_mb=body_mb,
-        sample_slots=list(scale.sample_slots),
-        series_mb={
-            "PBFT": pbft.storage_series_mb(scale.sample_slots),
-            "IOTA": iota.storage_series_mb(scale.sample_slots),
-            "2LDAG": list(measured.storage_mb),
-        },
-        per_node_mb_final=list(measured.per_node_storage_mb),
-        scale=scale,
-    )
+def run_fig7(
+    body_mb: float,
+    scale: Optional[ExperimentScale] = None,
+    executor=None,
+) -> Fig7Result:
+    """Produce one Fig. 7 panel for body size ``body_mb``."""
+    return run_fig7_panels([body_mb], scale, executor)[body_mb]
 
 
 def run_fig7_all_panels(
     scale: Optional[ExperimentScale] = None,
+    executor=None,
 ) -> Dict[str, Fig7Result]:
     """Panels (a)-(c): C = 0.1, 0.5, 1 MB; (d) reuses the 0.5 MB run."""
-    if scale is None:
-        scale = ExperimentScale.from_env()
-    return {
-        "a": run_fig7(0.1, scale),
-        "b": run_fig7(0.5, scale),
-        "c": run_fig7(1.0, scale),
-    }
+    panels = run_fig7_panels([0.1, 0.5, 1.0], scale, executor)
+    return {"a": panels[0.1], "b": panels[0.5], "c": panels[1.0]}

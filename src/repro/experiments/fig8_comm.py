@@ -21,10 +21,12 @@ from typing import Dict, List, Optional
 
 from repro.baselines.iota.costmodel import IotaCostModel
 from repro.baselines.pbft.costmodel import PbftCostModel
+from repro.campaign.cells import run_scenario_cells
 from repro.experiments.common import ExperimentScale
 from repro.metrics.cdf import EmpiricalCDF
 from repro.metrics.reporting import format_series_table
-from repro.scenario import ScenarioRunner, fig8_scenario
+from repro.scenario import build_topology, fig8_scenario
+from repro.sim.rng import RandomStreams
 
 
 @dataclass
@@ -53,19 +55,29 @@ def gamma_for_fraction(node_count: int, fraction: float) -> int:
     return max(1, math.ceil(node_count * fraction))
 
 
-def run_fig8(scale: Optional[ExperimentScale] = None) -> Fig8Result:
-    """Produce all Fig. 8 series."""
+def run_fig8(
+    scale: Optional[ExperimentScale] = None,
+    executor=None,
+) -> Fig8Result:
+    """Produce all Fig. 8 series.
+
+    The 33% and 49% tolerance runs are two campaign cells — they
+    execute concurrently when ``executor`` has workers, serially
+    in-process otherwise.
+    """
     if scale is None:
         scale = ExperimentScale.from_env()
 
     label_33 = "2LDAG-33%"
     label_49 = "2LDAG-49%"
-    runner_33 = ScenarioRunner(fig8_scenario(0.33, scale))
-    run33 = runner_33.run()
-    run49 = ScenarioRunner(fig8_scenario(0.49, scale)).run()
+    spec_33 = fig8_scenario(0.33, scale)
+    run33, run49 = run_scenario_cells(
+        [spec_33, fig8_scenario(0.49, scale)], executor, name="fig8"
+    )
 
-    topology = runner_33.deployment.topology
-    body_bits = runner_33.deployment.config.body_bits
+    # Same named-stream rebuild the runner performs in the worker.
+    topology = build_topology(spec_33.topology, RandomStreams(spec_33.seed))
+    body_bits = spec_33.protocol.body_bits
     pbft = PbftCostModel(topology, body_bits)
     iota = IotaCostModel(topology, body_bits)
 

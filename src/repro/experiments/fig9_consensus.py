@@ -14,13 +14,21 @@ generation-time validations do.
 
 Workload per the paper: each node generates one block per one or two
 slots (drawn per node), so micro-loops occur (§V, Fig. 6).
+
+Each (γ, malicious-count) series is a campaign cell of kind
+``fig9-series``: the grow-probe-grow-probe loop runs entirely inside
+the cell, so a panel's malicious sweep fans out across workers (and
+memoises) when the caller provides a configured
+:class:`~repro.campaign.executor.CampaignExecutor`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.campaign.cells import register_cell_kind
+from repro.campaign.spec import CampaignSpec, CellSpec
 from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
 from repro.experiments.common import ExperimentScale
 from repro.metrics.reporting import format_series_table
@@ -87,11 +95,63 @@ def _probe_batch(
     return failures / probes
 
 
+@register_cell_kind("fig9-series")
+def run_fig9_series_cell(cell: CellSpec) -> Dict[str, Any]:
+    """One malicious-count series: grow the DAG, probe at each sample.
+
+    The probe RNG comes from the cell scenario's own ``probes`` stream,
+    so the series is identical whether this runs inline or in a worker.
+    """
+    spec = cell.scenario
+    gamma = int(cell.params["gamma"])
+    probes = int(cell.params["probes"])
+    sample_slots = [int(slot) for slot in cell.params["sample_slots"]]
+    runner = ScenarioRunner(spec).build()
+    probe_rng = runner.streams.get("probes")
+    series: List[float] = []
+    for sample in sample_slots:
+        runner.advance_to(sample)
+        series.append(
+            _probe_batch(runner.deployment, runner.workload, gamma, probes, probe_rng)
+        )
+    return {
+        "malicious": cell.params["malicious"],
+        "sample_slots": sample_slots,
+        "failure_probability": series,
+    }
+
+
+def fig9_cells(
+    gamma: int,
+    malicious_counts: Sequence[int],
+    sample_slots: Sequence[int],
+    scale: ExperimentScale,
+) -> Tuple[CellSpec, ...]:
+    """One ``fig9-series`` cell per malicious count."""
+    sample_slots = sorted(int(slot) for slot in sample_slots)
+    return tuple(
+        CellSpec(
+            scenario=fig9_scenario(
+                gamma=gamma, malicious=malicious, slots=sample_slots[-1], scale=scale
+            ),
+            kind="fig9-series",
+            params={
+                "gamma": gamma,
+                "malicious": malicious,
+                "probes": scale.probes_per_sample,
+                "sample_slots": list(sample_slots),
+            },
+        )
+        for malicious in malicious_counts
+    )
+
+
 def run_fig9(
     gamma: int,
     malicious_counts: List[int],
     sample_slots: Optional[List[int]] = None,
     scale: Optional[ExperimentScale] = None,
+    executor=None,
 ) -> Fig9Result:
     """Produce one Fig. 9 panel.
 
@@ -104,7 +164,12 @@ def run_fig9(
     sample_slots:
         Slots at which failure probability is measured; defaults to a
         range bracketing the expected consensus time (γ .. ~5γ).
+    executor:
+        Optional campaign executor; the malicious-count series run
+        concurrently (and cache) through it.
     """
+    from repro.campaign.executor import run_campaign
+
     if scale is None:
         scale = ExperimentScale.from_env()
     if sample_slots is None:
@@ -112,26 +177,15 @@ def run_fig9(
         sample_slots = sorted({gamma + k * step for k in range(0, 9)})
     sample_slots = sorted(sample_slots)
 
+    campaign = CampaignSpec(
+        name=f"fig9-g{gamma}",
+        cells=fig9_cells(gamma, malicious_counts, sample_slots, scale),
+    )
     failure: Dict[int, List[float]] = {}
-    for malicious in malicious_counts:
-        spec = fig9_scenario(
-            gamma=gamma, malicious=malicious, slots=sample_slots[-1], scale=scale
-        )
-        runner = ScenarioRunner(spec).build()
-        probe_rng = runner.streams.get("probes")
-        series: List[float] = []
-        for sample in sample_slots:
-            runner.advance_to(sample)
-            series.append(
-                _probe_batch(
-                    runner.deployment,
-                    runner.workload,
-                    gamma,
-                    scale.probes_per_sample,
-                    probe_rng,
-                )
-            )
-        failure[malicious] = series
+    for payload in run_campaign(campaign, executor).payloads():
+        failure[int(payload["malicious"])] = [
+            float(point) for point in payload["failure_probability"]
+        ]
 
     return Fig9Result(
         gamma=gamma,

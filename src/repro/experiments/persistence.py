@@ -6,17 +6,62 @@ regression in protocol cost or consensus behaviour shows up as a
 numeric diff, not a silent drift.  Dataclass results are serialized to
 a stable JSON layout; loading restores plain dictionaries (not the
 dataclasses), which is what comparison needs.
+
+All writes go through :func:`atomic_write_text` (same-directory temp
+file + ``os.replace``) so a killed process — a campaign worker, an
+interrupted CI job — can never leave a truncated or half-written JSON
+file behind: readers observe either the old content or the new one.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Union
 
 #: Format marker so future layout changes can be migrated.
 FORMAT_VERSION = 1
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content lands in a temporary file in the same directory (so the
+    final rename never crosses a filesystem boundary) and is moved into
+    place with ``os.replace``, which is atomic on POSIX and Windows.
+    The temp file is fsynced before the rename, so after a crash the
+    destination holds either the previous content or the new content —
+    never a prefix of it.
+    """
+    target = Path(path)
+    handle = tempfile.NamedTemporaryFile(
+        "w",
+        dir=str(target.parent),
+        prefix=f".{target.name}.",
+        suffix=".tmp",
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+            # NamedTemporaryFile creates 0600; give the artifact the
+            # umask-derived permissions a plain open() would have.
+            if hasattr(os, "fchmod"):
+                umask = os.umask(0)
+                os.umask(umask)
+                os.fchmod(handle.fileno(), 0o666 & ~umask)
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
 def _jsonable(value: Any) -> Any:
@@ -38,7 +83,7 @@ def save_results(path: Union[str, Path], name: str, results: Any) -> None:
         "name": name,
         "results": _jsonable(results),
     }
-    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def load_results(path: Union[str, Path]) -> Dict[str, Any]:

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.experiments.common import ExperimentScale
-from repro.experiments.fig7_storage import Fig7Result, run_fig7
+from repro.experiments.fig7_storage import Fig7Result, run_fig7_panels
 from repro.experiments.fig8_comm import Fig8Result, run_fig8
 from repro.experiments.fig9_consensus import PAPER_PANELS, Fig9Result, run_fig9
 from repro.experiments.headline import HeadlineResult, run_headline
@@ -90,11 +90,14 @@ def generate_report(
     scale: Optional[ExperimentScale] = None,
     fig7_bodies: Optional[List[float]] = None,
     fig9_panels: Optional[List[str]] = None,
+    executor=None,
 ) -> ReproductionReport:
     """Run every experiment and assemble the report.
 
     ``fig7_bodies`` / ``fig9_panels`` trim the sweep for faster runs
-    (defaults: all three C values, all four γ panels).
+    (defaults: all three C values, all four γ panels).  ``executor``
+    (a :class:`~repro.campaign.executor.CampaignExecutor`) parallelizes
+    each experiment's cells.
     """
     if scale is None:
         scale = ExperimentScale.from_env()
@@ -103,8 +106,8 @@ def generate_report(
     if fig9_panels is None:
         fig9_panels = list(PAPER_PANELS)
 
-    fig7 = {body: run_fig7(body, scale) for body in fig7_bodies}
-    fig8 = run_fig8(scale)
+    fig7 = run_fig7_panels(fig7_bodies, scale, executor)
+    fig8 = run_fig8(scale, executor)
     fig9: Dict[str, Fig9Result] = {}
     for panel in fig9_panels:
         spec = PAPER_PANELS[panel]
@@ -113,7 +116,7 @@ def generate_report(
             round(m * scale.node_count / 50) for m in spec["malicious_counts"]
         })
         malicious = [m for m in malicious if m <= gamma]
-        fig9[panel] = run_fig9(gamma, malicious, scale=scale)
+        fig9[panel] = run_fig9(gamma, malicious, scale=scale, executor=executor)
     headline = run_headline(scale)
     return ReproductionReport(
         scale=scale, fig7=fig7, fig8=fig8, fig9=fig9, headline=headline

@@ -30,6 +30,7 @@ Long-form use (probes or audits between slots)::
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -148,6 +149,44 @@ class ScenarioResult:
     def to_table(self) -> str:
         """The sampled series as an aligned text table."""
         return format_series_table("slots", self.sample_slots, self.series)
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready dict (round-trips through :meth:`from_dict`).
+
+        This is the payload format campaign cells of kind ``scenario``
+        return: every leaf is a JSON primitive, so results can cross
+        process boundaries and live in the on-disk result cache.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "sample_slots": list(self.sample_slots),
+            "total_blocks": self.total_blocks,
+            "validations": self.validations,
+            "success_rate": self.success_rate,
+            "storage_mb": list(self.storage_mb),
+            "traffic_mbit": list(self.traffic_mbit),
+            "traffic_dag_mbit": list(self.traffic_dag_mbit),
+            "traffic_pop_mbit": list(self.traffic_pop_mbit),
+            "per_node_storage_mb": list(self.per_node_storage_mb),
+            "per_node_traffic_mb": list(self.per_node_traffic_mb),
+            "events": self.events,
+            "sim_now": self.sim_now,
+            "trace_sha256": self.trace_sha256,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ScenarioResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        data = dict(payload)
+        spec = ScenarioSpec.from_dict(data.pop("spec"))
+        known = {f.name for f in dataclasses.fields(cls)} - {"spec"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioResult field(s): {', '.join(sorted(unknown))}"
+            )
+        return cls(spec=spec, **data)
 
     def summary(self) -> str:
         """A compact human-readable digest of the run."""

@@ -332,8 +332,21 @@ class ScenarioSpec:
 
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """A JSON-ready dict (round-trips through :meth:`from_dict`)."""
-        payload = dataclasses.asdict(self)
+        """A JSON-ready dict (round-trips through :meth:`from_dict`).
+
+        Pure JSON values throughout (tuples become lists), so the dict
+        equals its own ``json.dumps``/``loads`` round-trip — a property
+        the campaign result cache relies on.
+        """
+
+        def listify(value: Any) -> Any:
+            if isinstance(value, (list, tuple)):
+                return [listify(item) for item in value]
+            if isinstance(value, dict):
+                return {key: listify(item) for key, item in value.items()}
+            return value
+
+        payload = listify(dataclasses.asdict(self))
         payload["format_version"] = SPEC_FORMAT_VERSION
         if self.scale is None:
             payload.pop("scale")
@@ -372,6 +385,11 @@ class ScenarioSpec:
                     merged[name] = tuple(value)
             return cls_(**merged)
 
+        for text_field in ("name", "description"):
+            if text_field in data and not isinstance(data[text_field], str):
+                raise ScenarioError(
+                    f"{text_field} must be a string, got {data[text_field]!r}"
+                )
         workload_data = dict(data.get("workload", {}))
         churn_data = workload_data.pop("churn", None)
         churn = build(ChurnSpec, churn_data) if churn_data is not None else None
@@ -401,5 +419,7 @@ class ScenarioSpec:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
     def save(self, path: Union[str, Path]) -> None:
-        """Write the canonical JSON of this spec to ``path``."""
-        Path(path).write_text(self.to_json())
+        """Write the canonical JSON of this spec to ``path`` atomically."""
+        from repro.experiments.persistence import atomic_write_text
+
+        atomic_write_text(path, self.to_json())

@@ -1,0 +1,89 @@
+"""Cell-kind registry and scenario payload round-trip tests."""
+
+import pytest
+
+from repro.campaign.cells import (
+    cell_kind_names,
+    execute_cell,
+    register_cell_kind,
+    resolve_cell_kind,
+    run_scenario_cells,
+)
+from repro.campaign.spec import CampaignError, CellSpec
+from repro.scenario import ScenarioResult, ScenarioRunner, get_scenario
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return get_scenario("quickstart").with_workload(slots=5)
+
+
+class TestRegistry:
+    def test_scenario_kind_is_builtin(self):
+        assert "scenario" in cell_kind_names()
+        assert resolve_cell_kind("scenario") is not None
+
+    def test_consumer_kinds_resolve_via_home_module(self):
+        # Resolution imports the experiments module on demand.
+        assert resolve_cell_kind("gamma-sweep-point") is not None
+        assert resolve_cell_kind("fig9-series") is not None
+        assert resolve_cell_kind("attack-audit") is not None
+
+    def test_unknown_kind_raises_with_roster(self):
+        with pytest.raises(CampaignError, match="scenario"):
+            resolve_cell_kind("warp-drive")
+
+    def test_duplicate_registration_rejected(self):
+        @register_cell_kind("test-dup-kind")
+        def first(cell):
+            return {}
+
+        with pytest.raises(ValueError, match="already registered"):
+            @register_cell_kind("test-dup-kind")
+            def second(cell):
+                return {}
+
+    def test_registration_records_home_module_for_workers(self):
+        from repro.campaign.cells import KIND_HOME_MODULES
+
+        @register_cell_kind("test-home-kind")
+        def homed(cell):
+            return {}
+
+        # A spawn-started worker resolves this kind by importing the
+        # module that registered it.
+        assert KIND_HOME_MODULES["test-home-kind"] == __name__
+
+
+class TestScenarioCell:
+    def test_payload_round_trips_to_scenario_result(self, tiny):
+        payload = execute_cell(CellSpec(scenario=tiny))
+        rebuilt = ScenarioResult.from_dict(payload)
+        direct = ScenarioRunner(tiny).run()
+        assert rebuilt == direct
+
+    def test_payload_is_pure_json(self, tiny):
+        import json
+
+        payload = execute_cell(CellSpec(scenario=tiny))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_unknown_payload_field_rejected(self, tiny):
+        payload = execute_cell(CellSpec(scenario=tiny))
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            ScenarioResult.from_dict(payload)
+
+
+class TestRunScenarioCells:
+    def test_matches_direct_runner(self, tiny):
+        (result,) = run_scenario_cells([tiny])
+        assert result == ScenarioRunner(tiny).run()
+
+    def test_preserves_spec_order(self, tiny):
+        specs = [
+            tiny,
+            get_scenario("quickstart").with_workload(slots=6),
+        ]
+        results = run_scenario_cells(specs)
+        assert [r.spec.workload.slots for r in results] == [5, 6]

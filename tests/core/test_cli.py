@@ -22,6 +22,158 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig9", "--panel", "z"])
 
+    def test_global_workers_defaults_to_serial(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.workers == 0
+
+    def test_global_workers_before_subcommand(self):
+        args = build_parser().parse_args(["--workers", "4", "fig7"])
+        assert args.workers == 4
+
+    def test_campaign_run_workers_overrides_global(self):
+        args = build_parser().parse_args(
+            ["--workers", "2", "campaign", "run", "smoke", "--workers", "8"]
+        )
+        assert args.workers == 8
+
+    def test_campaign_run_inherits_global_workers(self):
+        args = build_parser().parse_args(["--workers", "2", "campaign", "run", "smoke"])
+        assert args.workers == 2
+
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro 1." in capsys.readouterr().out
+
+
+class TestScenariosValidate:
+    def test_valid_file(self, capsys, tmp_path):
+        from repro.scenario import get_scenario
+
+        path = tmp_path / "spec.json"
+        get_scenario("quickstart").save(path)
+        assert main(["scenarios", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "quickstart" in out
+
+    def test_invalid_file_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"protocol": {"gamma": -3}}')
+        assert main(["scenarios", "validate", str(path)]) == 2
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["scenarios", "validate", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestCampaignCommands:
+    @pytest.fixture
+    def campaign_file(self, tmp_path):
+        from repro.campaign import CampaignSpec, replicate_seeds
+        from repro.scenario import get_scenario
+
+        campaign = CampaignSpec(
+            name="cli-test",
+            cells=replicate_seeds(
+                get_scenario("quickstart").with_workload(slots=5), (0, 1)
+            ),
+        )
+        path = tmp_path / "campaign.json"
+        campaign.save(path)
+        return str(path)
+
+    def test_list_names_every_preset(self, capsys):
+        from repro.campaign import campaign_names
+
+        assert main(["campaign", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in campaign_names():
+            assert name in out
+
+    def test_show_round_trips(self, capsys):
+        import json
+
+        from repro.campaign import CampaignSpec, get_campaign
+
+        assert main(["campaign", "show", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert CampaignSpec.from_dict(json.loads(out)) == get_campaign("smoke")
+
+    def test_run_status_clean_cycle(self, capsys, tmp_path, campaign_file):
+        cache = str(tmp_path / "cache")
+        assert main(["--cache-dir", cache, "campaign", "run", campaign_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 computed, 0 cached" in out
+        assert "trace" in out
+
+        assert main(["--cache-dir", cache, "campaign", "status", campaign_file]) == 0
+        assert "2/2 cells cached" in capsys.readouterr().out
+
+        assert main(["--cache-dir", cache, "campaign", "run", campaign_file]) == 0
+        assert "0 computed, 2 cached" in capsys.readouterr().out
+
+        assert main(["--cache-dir", cache, "campaign", "clean", campaign_file]) == 0
+        assert "removed 2" in capsys.readouterr().out
+
+    def test_run_two_workers_matches_serial_traces(
+        self, capsys, tmp_path, campaign_file
+    ):
+        assert main(["campaign", "run", campaign_file, "--no-cache"]) == 0
+        serial = [line for line in capsys.readouterr().out.splitlines()
+                  if "trace" in line]
+        assert main([
+            "--cache-dir", str(tmp_path / "c2"),
+            "campaign", "run", campaign_file, "--workers", "2",
+        ]) == 0
+        parallel = [line for line in capsys.readouterr().out.splitlines()
+                    if "trace" in line]
+        def traces(lines):
+            return [line.split("trace")[-1].strip() for line in lines]
+        assert traces(serial) == traces(parallel)
+
+    def test_unknown_campaign_errors(self):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "no-such-campaign"])
+
+    def test_invalid_campaign_file_errors(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"name": "x", "cells": []}')
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", str(path)])
+
+
+class TestGlobalCacheDirOnExperiments:
+    def test_cache_dir_enables_caching_for_figure_commands(
+        self, capsys, tmp_path
+    ):
+        from repro.scenario import get_scenario
+
+        spec_path = tmp_path / "tiny.json"
+        get_scenario("quickstart").with_workload(
+            slots=6, sample_slots=(3, 6)
+        ).save(spec_path)
+        cache = tmp_path / "cache"
+        argv = ["--cache-dir", str(cache), "fig7", "--scenario", str(spec_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(cache.glob("cells/*/*.json"))  # cell persisted
+        assert main(argv) == 0  # second run replays from cache
+        assert capsys.readouterr().out == first
+
+    def test_without_flags_no_cache_is_written(self, capsys, tmp_path, monkeypatch):
+        from repro.scenario import get_scenario
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        spec_path = tmp_path / "tiny.json"
+        get_scenario("quickstart").with_workload(
+            slots=6, sample_slots=(3, 6)
+        ).save(spec_path)
+        assert main(["fig7", "--scenario", str(spec_path)]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "env-cache").exists()
+
 
 class TestCommands:
     def test_simulate_prints_summary(self, capsys):
