@@ -95,6 +95,7 @@ class IotaNetwork:
         payload_bits: int = 4_000_000,
         seed: int = 0,
         tip_strategy: str = "uniform",
+        mcmc_alpha: float = 0.01,
         per_hop_latency: float = 0.001,
     ) -> None:
         self.streams = RandomStreams(seed)
@@ -119,6 +120,7 @@ class IotaNetwork:
                 self.network,
                 rng=self.streams.get(f"iota:{node_id}"),
                 tip_strategy=tip_strategy,
+                mcmc_alpha=mcmc_alpha,
             )
             for node_id in self.topology.node_ids
         }

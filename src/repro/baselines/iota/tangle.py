@@ -95,6 +95,10 @@ class Tangle:
         """Transaction by digest, if known."""
         return self._transactions.get(digest)
 
+    def transactions(self) -> List[Transaction]:
+        """All transactions, in insertion order."""
+        return [self._transactions[digest] for digest in self._order]
+
     def tips(self) -> List[bytes]:
         """Digests of unapproved transactions, in insertion order."""
         order_index = {d: i for i, d in enumerate(self._order)}

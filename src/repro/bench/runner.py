@@ -22,6 +22,8 @@ regression coverage, so don't):
 ``dag_insert_chain``       LogicalDag insertion of a 200-header chain
 ``slot_sim``               the macro workload (wall seconds, events/s,
                            blocks/s and a canonical trace digest)
+``slot_sim_pbft``          the PBFT baseline backend's macro workload
+``slot_sim_iota``          the IOTA baseline backend's macro workload
 """
 
 from __future__ import annotations
@@ -49,6 +51,8 @@ TRACKED_OPS = (
     "kernel_cancel_churn",
     "dag_insert_chain",
     "slot_sim",
+    "slot_sim_pbft",
+    "slot_sim_iota",
 )
 
 #: Repository-relative location of the committed regression baseline.
@@ -399,6 +403,34 @@ def _run_slot_sim(fast: bool, spec=None, executor=None) -> BenchResult:
     )
 
 
+def _run_ledger_slot_sim(backend: str, fast: bool) -> BenchResult:
+    """A baseline backend's macro workload, timed end to end.
+
+    Unlike the 2LDAG macro (which times only slot driving), deployment
+    construction is cheap here, so the whole
+    :class:`~repro.scenario.runner.ScenarioRunner` drive is timed —
+    build, slots, settle, digest collection.
+    """
+    from repro.scenario import ScenarioRunner, ledger_bench_scenario
+
+    spec = ledger_bench_scenario(backend, fast=fast)
+    start = time.perf_counter()
+    result = ScenarioRunner(spec).run()
+    wall = time.perf_counter() - start
+    bench = _slot_sim_result(
+        spec,
+        wall=wall,
+        events=result.events,
+        blocks=result.total_blocks,
+        validations=result.validations,
+        success_rate=result.success_rate,
+        trace_sha256=result.trace_sha256,
+    )
+    bench.name = f"slot_sim_{backend}"
+    bench.metrics["backend"] = backend
+    return bench
+
+
 # -- orchestration ------------------------------------------------------------
 
 def run_benchmarks(
@@ -433,6 +465,16 @@ def run_benchmarks(
         log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "
             f"{metrics['events_per_sec']:,.0f} events/s, "
             f"{metrics['blocks_per_sec']:,.0f} blocks/s, "
+            f"trace {str(metrics['trace_sha256'])[:12]}…")
+    for backend in ("pbft", "iota"):
+        name = f"slot_sim_{backend}"
+        if only and name not in only:
+            continue
+        result = _run_ledger_slot_sim(backend, fast)
+        results[name] = result
+        metrics = result.metrics
+        log(f"{name:<26} {metrics['wall_s']:.3f} s wall, "
+            f"{metrics['events_per_sec']:,.0f} events/s, "
             f"trace {str(metrics['trace_sha256'])[:12]}…")
     return results
 
@@ -478,16 +520,20 @@ def compare_to_baseline(
     Returns ``(name, ratio, regressed)`` for every op present in both
     documents; ``ratio`` is ``current_ns / baseline_ns`` (>1 is slower)
     and ``regressed`` flags ratios above :data:`REGRESSION_FACTOR`.
-    The macro workload is compared on wall seconds — unless the current
-    run routed it through the campaign executor (``campaign_routed``),
-    whose wall time also covers deployment construction and is not
-    comparable to serially recorded baselines; that row is skipped.
+    Macro workloads (every ``slot_sim*`` row, baseline backends
+    included) are compared on wall seconds — unless the current run
+    routed the workload through the campaign executor
+    (``campaign_routed``), whose wall time also covers deployment
+    construction and is not comparable to serially recorded baselines;
+    that row is skipped.  An op missing from the baseline document (a
+    newly added row whose refreshed baseline has not landed yet) is
+    skipped rather than failed.
     """
     rows: List[Tuple[str, float, bool]] = []
     current_results = current.get("results", {})
     baseline_results = baseline.get("results", {})
     for name in sorted(set(current_results) & set(baseline_results)):
-        if name == "slot_sim":
+        if name.startswith("slot_sim"):
             if current_results[name].get("metrics", {}).get("campaign_routed"):
                 continue
             now = current_results[name].get("metrics", {}).get("wall_s")

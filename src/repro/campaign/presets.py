@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.campaign.spec import CampaignSpec, CellSpec, replicate_seeds
+from repro.campaign.spec import CampaignSpec, CellSpec, expand_grid, replicate_seeds
 from repro.scenario.registry import bench_scenario, fig7_scenario, get_scenario
 
 _CAMPAIGNS: Dict[str, Callable[[], CampaignSpec]] = {}
@@ -80,6 +80,23 @@ def _bench_grid() -> CampaignSpec:
             "re-run to see every cell served from cache"
         ),
         cells=replicate_seeds(bench_scenario(fast=False), (0, 1, 2, 3, 4, 5)),
+    )
+
+
+@register_campaign("ledger-grid")
+def _ledger_grid() -> CampaignSpec:
+    """Every ledger backend × 4 seeds on the comparison workload."""
+    return CampaignSpec(
+        name="ledger-grid",
+        description=(
+            "the ledger-comparison workload on every registered backend "
+            "(2LDAG, PBFT, IOTA) over 4 seeds — 12 cells; the three-ledger "
+            "scoreboard as one parallel, cached fleet"
+        ),
+        cells=expand_grid(
+            get_scenario("ledger-comparison"),
+            {"backend": ["2ldag", "pbft", "iota"], "seed": [0, 1, 2, 3]},
+        ),
     )
 
 

@@ -19,13 +19,16 @@ Run as ``python -m repro <command>``:
 
 Every workload-running subcommand accepts ``--scenario NAME`` (a
 registry preset) or ``--scenario file.json`` (a spec exported with
-``scenarios show``); see ``docs/scenarios.md``.  The global
-``--workers N`` flag (before the subcommand) fans multi-run commands
-out across worker processes — the default stays serial, preserving
-current behaviour and golden digests.  Examples::
+``scenarios show``); see ``docs/scenarios.md``.  ``simulate``/``verify``
+additionally take ``--backend 2ldag|pbft|iota`` to run the same
+scenario on a comparison-baseline ledger.  The global ``--workers N``
+flag (before the subcommand) fans multi-run commands out across worker
+processes — the default stays serial, preserving current behaviour and
+golden digests.  Examples::
 
     python -m repro simulate --nodes 25 --slots 40 --gamma 8
     python -m repro simulate --scenario quickstart
+    python -m repro simulate --scenario ledger-comparison --backend pbft
     python -m repro scenarios show quickstart > s.json
     python -m repro scenarios validate s.json
     python -m repro simulate --scenario s.json
@@ -46,12 +49,14 @@ from typing import List, Optional
 from repro.experiments.common import ExperimentScale
 from repro.metrics.charts import render_chart
 from repro.scenario import (
+    DEFAULT_BACKEND,
     ProtocolSpec,
     ScenarioError,
     ScenarioRunner,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
+    backend_names,
     get_scenario,
     scenario_names,
 )
@@ -91,10 +96,18 @@ def _inline_spec(args, validate: bool, run_until_quiet: bool) -> ScenarioSpec:
 
 
 def _scenario_spec(args, validate: bool = False, run_until_quiet: bool = False) -> ScenarioSpec:
-    """The spec a workload subcommand should run."""
+    """The spec a workload subcommand should run (``--backend`` applied)."""
     if args.scenario:
-        return _load_scenario(args.scenario)
-    return _inline_spec(args, validate=validate, run_until_quiet=run_until_quiet)
+        spec = _load_scenario(args.scenario)
+    else:
+        spec = _inline_spec(args, validate=validate, run_until_quiet=run_until_quiet)
+    backend = getattr(args, "backend", None)
+    if backend and backend != spec.backend:
+        try:
+            spec = spec.with_backend(backend)
+        except ScenarioError as error:
+            raise SystemExit(f"cannot run on backend {backend!r}: {error}")
+    return spec
 
 
 def _executor_from_args(args, use_cache: Optional[bool] = None):
@@ -173,6 +186,10 @@ def cmd_simulate(args) -> int:
 def cmd_verify(args) -> int:
     """Run one PoP verification against a grown DAG."""
     spec = _scenario_spec(args)
+    if spec.backend != DEFAULT_BACKEND:
+        print(f"verify runs PoP, which only the {DEFAULT_BACKEND!r} backend "
+              f"implements (got {spec.backend!r})", file=sys.stderr)
+        return 2
     runner = ScenarioRunner(spec).build()
     runner.advance_to(spec.workload.slots)
     deployment, workload = runner.deployment, runner.workload
@@ -198,9 +215,10 @@ def cmd_scenarios(args) -> int:
     """List the scenario presets, print one as JSON, or validate a file."""
     if args.action == "list":
         width = max(len(name) for name in scenario_names())
+        bwidth = max(len("backend"), max(len(b) for b in backend_names()))
         for name in scenario_names():
             spec = get_scenario(name)
-            print(f"{name:<{width}}  {spec.description}")
+            print(f"{name:<{width}}  {spec.backend:<{bwidth}}  {spec.description}")
         return 0
     if args.action == "validate":
         try:
@@ -212,7 +230,8 @@ def cmd_scenarios(args) -> int:
             print(f"INVALID {args.file}: {error}", file=sys.stderr)
             return 2
         print(f"OK {args.file}: scenario {spec.name!r} "
-              f"({spec.node_count} nodes, {spec.workload.slots} slots, "
+              f"({spec.backend} backend, {spec.node_count} nodes, "
+              f"{spec.workload.slots} slots, "
               f"gamma {spec.protocol.gamma}, seed {spec.seed})")
         return 0
     # show
@@ -357,7 +376,8 @@ def cmd_headline(args) -> int:
     """Print the measured headline ratios."""
     from repro.experiments.headline import run_headline
 
-    result = run_headline(_scale_from_args(args))
+    result = run_headline(_scale_from_args(args),
+                          executor=_executor_from_args(args))
     print(result.summary())
     return 0
 
@@ -455,8 +475,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run a named preset or an exported spec JSON "
                             "(see 'scenarios list')")
 
+    def backend_arg(p):
+        p.add_argument("--backend", default=None, metavar="NAME",
+                       help="ledger backend to run the scenario on "
+                            f"({', '.join(backend_names())}; default: "
+                            "the spec's own backend)")
+
     def common(p):
         scenario_arg(p)
+        backend_arg(p)
         p.add_argument("--seed", type=int, default=0, help="master seed")
         p.add_argument("--nodes", type=int, default=25, help="|V|")
         p.add_argument("--gamma", type=int, default=8, help="tolerable malicious")

@@ -10,30 +10,45 @@ a structured :class:`ScenarioResult`.  Named presets (``quickstart``,
 Every entry point in the repository — the CLI, the paper experiments,
 the examples, the attack demos and the bench harness — constructs its
 deployment through this package, so new scenarios are data, not code.
+
+Specs name a *ledger backend* (``backend="2ldag"|"pbft"|"iota"``): the
+runner dispatches through the :mod:`repro.scenario.backends` registry,
+so the same spec — same topology, workload and seed — runs on the
+paper's two-layer DAG or on the PBFT/IOTA comparison baselines.
 """
 
+from repro.scenario.backends import (
+    LedgerBackend,
+    backend_names,
+    build_topology,
+    create_backend,
+    register_backend,
+)
 from repro.scenario.registry import (
     bench_scenario,
     fig7_scenario,
     fig8_scenario,
     fig9_scenario,
     get_scenario,
+    ledger_bench_scenario,
     register_scenario,
     scenario_names,
 )
 from repro.scenario.runner import (
     ScenarioResult,
     ScenarioRunner,
-    build_topology,
     run_scenario,
 )
 from repro.scenario.spec import (
     ADVERSARY_KINDS,
     COALITION_KINDS,
+    DEFAULT_BACKEND,
     RANDOM_1_2,
     TOPOLOGY_KINDS,
     AdversarySpec,
     ChurnSpec,
+    IotaParams,
+    PbftParams,
     ProtocolSpec,
     ScenarioError,
     ScenarioSpec,
@@ -44,10 +59,14 @@ from repro.scenario.spec import (
 __all__ = [
     "ADVERSARY_KINDS",
     "COALITION_KINDS",
+    "DEFAULT_BACKEND",
     "RANDOM_1_2",
     "TOPOLOGY_KINDS",
     "AdversarySpec",
     "ChurnSpec",
+    "IotaParams",
+    "LedgerBackend",
+    "PbftParams",
     "ProtocolSpec",
     "ScenarioError",
     "ScenarioResult",
@@ -55,12 +74,16 @@ __all__ = [
     "ScenarioSpec",
     "TopologySpec",
     "WorkloadSpec",
+    "backend_names",
     "bench_scenario",
     "build_topology",
+    "create_backend",
     "fig7_scenario",
     "fig8_scenario",
     "fig9_scenario",
     "get_scenario",
+    "ledger_bench_scenario",
+    "register_backend",
     "register_scenario",
     "run_scenario",
     "scenario_names",

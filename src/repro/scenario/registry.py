@@ -168,6 +168,26 @@ def bench_scenario(fast: bool) -> ScenarioSpec:
     )
 
 
+def ledger_bench_scenario(backend: str, fast: bool) -> ScenarioSpec:
+    """The bench harness's baseline macro workloads (PBFT/IOTA rows).
+
+    Deliberately smaller than the 2LDAG macro: a fully simulated PBFT
+    slot costs O(|V|²) routed control messages, so the row stays a
+    sub-second wall-clock probe rather than a stress test.
+    """
+    suffix = "-fast" if fast else ""
+    return ScenarioSpec(
+        name=f"bench-{backend}{suffix}",
+        description=f"benchmark {backend} macro workload"
+        + (" (smoke scale)" if fast else " (full scale)"),
+        backend=backend,
+        protocol=ProtocolSpec.paper(gamma=3, body_mb=0.1),
+        topology=TopologySpec(node_count=10 if fast else 12),
+        workload=WorkloadSpec(slots=6 if fast else 15, generation_period=1),
+        seed=7,
+    )
+
+
 # -- presets -------------------------------------------------------------------
 
 @register_scenario

@@ -1,13 +1,20 @@
 """Run a :class:`~repro.scenario.spec.ScenarioSpec` end to end.
 
 :class:`ScenarioRunner` is the only place in the codebase that wires a
-:class:`~repro.core.protocol.TwoLayerDagNetwork` from declarative
-input — every entry point (CLI, paper experiments, examples, attack
-demos, the bench harness) goes through it, so scenario construction is
-defined exactly once and seeded traces stay byte-identical across
-callers.
+deployment from declarative input — every entry point (CLI, paper
+experiments, examples, attack demos, the bench harness) goes through
+it, so scenario construction is defined exactly once and seeded traces
+stay byte-identical across callers.
 
-The construction recipe is deliberately frozen: one
+The runner does not construct ledgers itself: it dispatches through
+the backend registry (:mod:`repro.scenario.backends`) on
+``spec.backend`` — ``"2ldag"`` (the paper's protocol, the default),
+``"pbft"`` or ``"iota"`` — and owns only the schedule: slot
+boundaries, churn application, series sampling and result assembly.
+The same spec therefore runs on any registered ledger, and every
+result carries the same series/digest shape.
+
+The 2LDAG construction recipe is deliberately frozen: one
 :class:`~repro.sim.rng.RandomStreams` per scenario seeds the topology
 and the adversary coalitions, and the same seed masters the
 deployment's internal streams.  Any change to this ordering changes
@@ -32,82 +39,23 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
-from repro.attacks.behaviors import (
-    CorruptResponder,
-    EquivocatingResponder,
-    SelfishNode,
-    SilentResponder,
-)
-from repro.attacks.eclipse import eclipse_victim
-from repro.attacks.majority import make_coalition
-from repro.attacks.sybil import SybilIdentity, sybil_identities
-from repro.bench.trace import slot_simulation_trace_digest
-from repro.core.config import ProtocolConfig
-from repro.core.node import NodeBehavior
-from repro.core.protocol import (
-    CATEGORY_DAG,
-    CATEGORY_POP,
-    SlotSimulation,
-    TwoLayerDagNetwork,
-)
 from repro.metrics.reporting import format_series_table
-from repro.metrics.units import bits_to_mb, bits_to_mbit
-from repro.net.topology import (
-    Topology,
-    grid_topology,
-    random_geometric_topology,
-    ring_topology,
-    sequential_geometric_topology,
+from repro.scenario.backends import (  # noqa: F401  (re-exported API)
+    LedgerBackend,
+    backend_names,
+    build_config,
+    build_topology,
+    create_backend,
+    register_backend,
 )
-from repro.scenario.spec import COALITION_KINDS, ScenarioSpec, TopologySpec
-from repro.sim.rng import RandomStreams
+from repro.scenario.spec import ScenarioSpec
 
-#: Coalition kind -> behaviour factory (all zero-argument constructors).
-_BEHAVIOR_FACTORIES: Dict[str, Callable[[], NodeBehavior]] = {
-    "silent": SilentResponder,
-    "corrupt": CorruptResponder,
-    "equivocating": EquivocatingResponder,
-    "selfish": SelfishNode,
-}
-
-
-def build_topology(spec: TopologySpec, streams: RandomStreams) -> Topology:
-    """Materialize a :class:`TopologySpec` (random kinds draw from ``streams``)."""
-    if spec.kind == "sequential-geometric":
-        return sequential_geometric_topology(
-            node_count=spec.node_count,
-            area_side=spec.area_side,
-            comm_range=spec.comm_range,
-            streams=streams,
-        )
-    if spec.kind == "grid":
-        return grid_topology(
-            spec.rows, spec.cols, spacing=spec.spacing, comm_range=spec.comm_range
-        )
-    if spec.kind == "ring":
-        return ring_topology(
-            spec.node_count, spacing=spec.spacing, comm_range=spec.comm_range
-        )
-    if spec.kind == "random-geometric":
-        return random_geometric_topology(
-            node_count=spec.node_count,
-            area_side=spec.area_side,
-            comm_range=spec.comm_range,
-            streams=streams,
-        )
-    raise ValueError(f"unknown topology kind {spec.kind!r}")  # pragma: no cover
-
-
-def build_config(spec: ScenarioSpec) -> ProtocolConfig:
-    """The :class:`ProtocolConfig` a spec's protocol section describes."""
-    return ProtocolConfig(
-        body_bits=spec.protocol.body_bits,
-        gamma=spec.protocol.gamma,
-        reply_timeout=spec.protocol.reply_timeout,
-        puzzle_difficulty_bits=spec.protocol.puzzle_difficulty_bits,
-    )
+#: The series every backend samples, in canonical order.
+SERIES_KEYS = (
+    "storage_mb", "traffic_mbit", "traffic_dag_mbit", "traffic_pop_mbit"
+)
 
 
 @dataclass
@@ -192,7 +140,8 @@ class ScenarioResult:
         """A compact human-readable digest of the run."""
         lines = [
             f"scenario {self.spec.name}: {self.spec.node_count} nodes, "
-            f"{self.spec.workload.slots} slots, seed {self.spec.seed}",
+            f"{self.spec.workload.slots} slots, seed {self.spec.seed}, "
+            f"backend {self.spec.backend}",
             f"blocks generated: {self.total_blocks}",
         ]
         if self.validations:
@@ -207,21 +156,26 @@ class ScenarioResult:
 
 
 class ScenarioRunner:
-    """spec → deployment → result, the pipeline every entry point shares.
+    """spec → backend deployment → result, the shared pipeline.
 
     After :meth:`build` (or lazily on first use) the live objects are
-    exposed for follow-up interaction: ``deployment``, ``workload``,
-    ``streams`` (the scenario's master random source), ``behaviors``
-    (the adversary roster actually installed) and ``sybil_identities``.
+    exposed for follow-up interaction: ``backend`` (the
+    :class:`~repro.scenario.backends.LedgerBackend` instance),
+    ``streams`` (the scenario's master random source), and — when the
+    2LDAG backend is driving — ``deployment``, ``workload``,
+    ``behaviors`` (the adversary roster actually installed) and
+    ``sybil_identities``; they stay ``None``/empty on the baseline
+    backends.
     """
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
-        self.deployment: Optional[TwoLayerDagNetwork] = None
-        self.workload: Optional[SlotSimulation] = None
-        self.streams: Optional[RandomStreams] = None
-        self.behaviors: Dict[int, NodeBehavior] = {}
-        self.sybil_identities: List[SybilIdentity] = []
+        self.backend: Optional[LedgerBackend] = None
+        self.deployment = None
+        self.workload = None
+        self.streams = None
+        self.behaviors: Dict[int, object] = {}
+        self.sybil_identities: List[object] = []
         self._next_slot = 0
         self._sampled: Dict[int, Dict[str, float]] = {}
         self._offline_applied = False
@@ -229,53 +183,17 @@ class ScenarioRunner:
 
     # -- construction ------------------------------------------------------
     def build(self) -> "ScenarioRunner":
-        """Wire the deployment and workload; idempotent."""
-        if self.deployment is not None:
+        """Wire the backend's deployment and workload; idempotent."""
+        if self.backend is not None:
             return self
-        spec = self.spec
-        self.streams = RandomStreams(spec.seed)
-        topology = build_topology(spec.topology, self.streams)
-
-        behaviors: Dict[int, NodeBehavior] = {}
-        drop_rules = []
-        for adversary in spec.adversaries:
-            if adversary.kind in COALITION_KINDS:
-                coalition = make_coalition(
-                    topology,
-                    adversary.count,
-                    self.streams,
-                    stream_name=adversary.stream_name,
-                    behavior_factory=_BEHAVIOR_FACTORIES[adversary.kind],
-                    protect=sorted(set(adversary.protect) | set(behaviors)),
-                )
-                behaviors.update(coalition)
-            elif adversary.kind == "eclipse":
-                drop_rules.append(eclipse_victim(adversary.victim))
-            elif adversary.kind == "sybil":
-                self.sybil_identities.extend(
-                    sybil_identities(adversary.attacker, adversary.count)
-                )
-        self.behaviors = behaviors
-
-        self.deployment = TwoLayerDagNetwork(
-            config=build_config(spec),
-            topology=topology,
-            seed=spec.seed,
-            behaviors=behaviors or None,
-            per_hop_latency=spec.per_hop_latency,
-        )
-        for rule in drop_rules:
-            self.deployment.network.add_drop_rule(rule)
-
-        workload = spec.workload
-        self.workload = SlotSimulation(
-            self.deployment,
-            generation_period=workload.generation_period,
-            validate=workload.validate,
-            validation_min_age_slots=workload.validation_min_age_slots,
-            intra_slot_jitter=workload.intra_slot_jitter,
-            fetch_body=workload.fetch_body,
-        )
+        backend = create_backend(self.spec)
+        backend.build()
+        self.backend = backend
+        self.streams = backend.streams
+        self.deployment = getattr(backend, "deployment", None)
+        self.workload = getattr(backend, "workload", None)
+        self.behaviors = getattr(backend, "behaviors", {})
+        self.sybil_identities = getattr(backend, "sybil_identities", [])
         return self
 
     # -- driving -----------------------------------------------------------
@@ -284,19 +202,16 @@ class ScenarioRunner:
         if churn is None:
             return
         if not self._offline_applied and slot >= churn.offline_slot:
-            for node_id in churn.offline_nodes:
-                self.deployment.node(node_id).go_offline()
+            self.backend.take_offline(churn.offline_nodes)
             self._offline_applied = True
         if (
             not self._rejoin_applied
             and churn.rejoin_slot is not None
             and slot >= churn.rejoin_slot
         ):
-            for node_id in churn.offline_nodes:
-                self.deployment.node(node_id).come_online()
-                if churn.forgive_on_rejoin:
-                    for other in self.deployment.node_ids:
-                        self.deployment.node(other).record_cooperation(node_id)
+            self.backend.bring_online(
+                churn.offline_nodes, forgive=churn.forgive_on_rejoin
+            )
             self._rejoin_applied = True
 
     def _boundaries_until(self, target: int) -> List[int]:
@@ -309,21 +224,6 @@ class ScenarioRunner:
                     stops.add(stop)
         stops.add(target)
         return sorted(stops)
-
-    def _record_sample(self, slot: int) -> None:
-        deployment = self.deployment
-        nodes = deployment.node_ids
-        ledger = deployment.traffic
-        self._sampled[slot] = {
-            "storage_mb": bits_to_mb(deployment.mean_storage_bits()),
-            "traffic_mbit": bits_to_mbit(ledger.mean_tx_bits(nodes)),
-            "traffic_dag_mbit": bits_to_mbit(
-                ledger.mean_tx_bits(nodes, [CATEGORY_DAG])
-            ),
-            "traffic_pop_mbit": bits_to_mbit(
-                ledger.mean_tx_bits(nodes, [CATEGORY_POP])
-            ),
-        }
 
     def advance_to(self, slot: int) -> "ScenarioRunner":
         """Simulate up to (and including) slot ``slot - 1``.
@@ -348,10 +248,10 @@ class ScenarioRunner:
         for stop in self._boundaries_until(slot):
             self._apply_churn(self._next_slot)
             if stop > self._next_slot:
-                self.workload.run(stop - self._next_slot, start_slot=self._next_slot)
+                self.backend.advance_slots(self._next_slot, stop - self._next_slot)
                 self._next_slot = stop
             if stop in self.spec.workload.sample_slots:
-                self._record_sample(stop)
+                self._sampled[stop] = self.backend.sample()
         return self
 
     def finish(self) -> ScenarioResult:
@@ -359,44 +259,35 @@ class ScenarioRunner:
         self.build()
         workload_spec = self.spec.workload
         self.advance_to(workload_spec.slots)
-        if workload_spec.run_until_quiet:
-            self.workload.run_until_quiet(max_extra_time=workload_spec.quiet_time)
+        self.backend.finalize()
         if not self._sampled:
             # No declared sample axis: record the final state so the
             # series have one point.  When the spec declares
             # sample_slots, the series stay exactly that length (the
             # experiment tables align them with other sampled series).
-            self._record_sample(workload_spec.slots)
+            self._sampled[workload_spec.slots] = self.backend.sample()
 
-        deployment = self.deployment
         sample_slots = sorted(self._sampled)
         series = {
             key: [self._sampled[s][key] for s in sample_slots]
-            for key in (
-                "storage_mb", "traffic_mbit", "traffic_dag_mbit", "traffic_pop_mbit"
-            )
+            for key in SERIES_KEYS
         }
+        metrics = self.backend.collect()
         return ScenarioResult(
             spec=self.spec,
             sample_slots=sample_slots,
-            total_blocks=self.workload.total_blocks(),
-            validations=len(self.workload.validations),
-            success_rate=self.workload.success_rate(),
+            total_blocks=metrics.total_blocks,
+            validations=metrics.validations,
+            success_rate=metrics.success_rate,
             storage_mb=series["storage_mb"],
             traffic_mbit=series["traffic_mbit"],
             traffic_dag_mbit=series["traffic_dag_mbit"],
             traffic_pop_mbit=series["traffic_pop_mbit"],
-            per_node_storage_mb=[
-                bits_to_mb(node.storage_bits())
-                for node in deployment.nodes.values()
-            ],
-            per_node_traffic_mb=[
-                bits_to_mb(deployment.traffic.total_bits(n))
-                for n in deployment.node_ids
-            ],
-            events=deployment.sim.processed_count,
-            sim_now=deployment.sim.now,
-            trace_sha256=slot_simulation_trace_digest(self.workload),
+            per_node_storage_mb=metrics.per_node_storage_mb,
+            per_node_traffic_mb=metrics.per_node_traffic_mb,
+            events=metrics.events,
+            sim_now=metrics.sim_now,
+            trace_sha256=self.backend.trace_digest(),
         )
 
     def run(self) -> ScenarioResult:

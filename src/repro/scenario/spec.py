@@ -29,14 +29,21 @@ from repro.metrics.units import bits_to_mb, mb_to_bits
 #: Format marker for serialized specs, bumped on breaking layout changes.
 SPEC_FORMAT_VERSION = 1
 
-#: Topology kinds :func:`repro.scenario.runner.build_topology` understands.
+#: Topology kinds :func:`repro.scenario.backends.build_topology` understands.
 TOPOLOGY_KINDS = ("sequential-geometric", "grid", "ring", "random-geometric")
 
-#: Coalition adversary kinds -> behaviour factories live in the runner.
+#: Coalition adversary kinds -> behaviour factories live in the 2LDAG
+#: backend (:class:`repro.scenario.backends.TwoLayerDagBackend`).
 COALITION_KINDS = ("silent", "corrupt", "equivocating", "selfish")
 
 #: All adversary kinds (coalitions plus the structural attacks).
 ADVERSARY_KINDS = COALITION_KINDS + ("eclipse", "sybil")
+
+#: The default ledger backend (the paper's two-layer DAG).
+DEFAULT_BACKEND = "2ldag"
+
+#: IOTA tip-selection strategies the tangle backend understands.
+IOTA_TIP_STRATEGIES = ("uniform", "mcmc")
 
 #: The sentinel generation period reproducing Fig. 9's workload.
 RANDOM_1_2 = "random-1-2"
@@ -44,6 +51,65 @@ RANDOM_1_2 = "random-1-2"
 
 class ScenarioError(ValueError):
     """A spec that cannot describe a runnable scenario."""
+
+
+def known_backend_names() -> Tuple[str, ...]:
+    """The registered ledger backend names (lazily imported registry).
+
+    The registry lives in :mod:`repro.scenario.backends` (which imports
+    this module); resolving it lazily keeps spec validation in sync
+    with whatever backends are registered without an import cycle.
+    """
+    from repro.scenario.backends import backend_names
+
+    return tuple(backend_names())
+
+
+@dataclass(frozen=True)
+class PbftParams:
+    """Knobs of the ``pbft`` ledger backend (ignored by the others).
+
+    ``settle_time`` is how long the three-phase commit is allowed to
+    drain after each driven slot chunk — the live-cluster equivalent of
+    2LDAG's ``run_until_quiet``.
+    """
+
+    view_change_timeout: float = 5.0
+    settle_time: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.view_change_timeout <= 0:
+            raise ScenarioError(
+                f"view_change_timeout must be positive, got {self.view_change_timeout}"
+            )
+        if self.settle_time < 0:
+            raise ScenarioError(
+                f"settle_time must be non-negative, got {self.settle_time}"
+            )
+
+
+@dataclass(frozen=True)
+class IotaParams:
+    """Knobs of the ``iota`` ledger backend (ignored by the others)."""
+
+    tip_strategy: str = "uniform"
+    mcmc_alpha: float = 0.01
+    settle_time: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.tip_strategy not in IOTA_TIP_STRATEGIES:
+            raise ScenarioError(
+                f"unknown tip_strategy {self.tip_strategy!r}; "
+                f"known: {', '.join(IOTA_TIP_STRATEGIES)}"
+            )
+        if self.mcmc_alpha < 0:
+            raise ScenarioError(
+                f"mcmc_alpha must be non-negative, got {self.mcmc_alpha}"
+            )
+        if self.settle_time < 0:
+            raise ScenarioError(
+                f"settle_time must be non-negative, got {self.settle_time}"
+            )
 
 
 @dataclass(frozen=True)
@@ -272,7 +338,12 @@ class ScenarioSpec:
 
     The whole run is declared here — hand a spec to
     :class:`~repro.scenario.runner.ScenarioRunner` and nothing else is
-    needed.  ``scale`` optionally records the
+    needed.  ``backend`` names the ledger implementation the runner
+    dispatches to (``"2ldag"`` — the paper's protocol — by default;
+    ``"pbft"`` and ``"iota"`` run the comparison baselines on the same
+    topology, workload and seed); ``pbft``/``iota`` carry the
+    backend-specific knobs and are ignored by the other backends.
+    ``scale`` optionally records the
     :class:`~repro.experiments.common.ExperimentScale` a paper-figure
     spec was derived from (``probes_per_sample`` and friends); the
     authoritative topology/slot/seed values are always the explicit
@@ -281,15 +352,44 @@ class ScenarioSpec:
 
     name: str = "custom"
     description: str = ""
+    backend: str = DEFAULT_BACKEND
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     topology: TopologySpec = field(default_factory=TopologySpec)
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     adversaries: Tuple[AdversarySpec, ...] = ()
+    pbft: PbftParams = field(default_factory=PbftParams)
+    iota: IotaParams = field(default_factory=IotaParams)
     seed: int = 0
     per_hop_latency: float = 0.001
     scale: Optional[ExperimentScale] = None
 
     def __post_init__(self) -> None:
+        registered = known_backend_names()
+        if self.backend not in registered:
+            raise ScenarioError(
+                f"unknown ledger backend {self.backend!r}; "
+                f"registered: {', '.join(registered)}"
+            )
+        if self.backend != DEFAULT_BACKEND:
+            if self.adversaries:
+                raise ScenarioError(
+                    f"the {self.backend} backend does not support adversaries; "
+                    f"remove them or use backend {DEFAULT_BACKEND!r}"
+                )
+            if self.workload.churn is not None:
+                raise ScenarioError(
+                    f"the {self.backend} backend does not support churn; "
+                    f"remove it or use backend {DEFAULT_BACKEND!r}"
+                )
+            if self.workload.generation_period != 1:
+                # The baseline adapters hardwire one request/transaction
+                # per node per slot; admitting another period would
+                # silently compare different workloads across backends.
+                raise ScenarioError(
+                    f"the {self.backend} backend only supports "
+                    f"generation_period=1, got "
+                    f"{self.workload.generation_period!r}"
+                )
         size = self.topology.size
         if self.protocol.gamma + 1 > size:
             raise ScenarioError(
@@ -330,6 +430,10 @@ class ScenarioSpec:
         """Copy with workload fields replaced (validation re-runs)."""
         return replace(self, workload=replace(self.workload, **changes))
 
+    def with_backend(self, backend: str) -> "ScenarioSpec":
+        """Copy targeting another ledger backend (validation re-runs)."""
+        return replace(self, backend=backend)
+
     # -- serialization -----------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready dict (round-trips through :meth:`from_dict`).
@@ -352,6 +456,14 @@ class ScenarioSpec:
             payload.pop("scale")
         if self.workload.churn is None:
             payload["workload"].pop("churn")
+        # Default backend sections are omitted so pre-backend specs (and
+        # their campaign cell digests) serialize byte-identically.
+        if self.backend == DEFAULT_BACKEND:
+            payload.pop("backend")
+        if self.pbft == PbftParams():
+            payload.pop("pbft")
+        if self.iota == IotaParams():
+            payload.pop("iota")
         return payload
 
     def to_json(self, indent: int = 2) -> str:
@@ -385,7 +497,7 @@ class ScenarioSpec:
                     merged[name] = tuple(value)
             return cls_(**merged)
 
-        for text_field in ("name", "description"):
+        for text_field in ("name", "description", "backend"):
             if text_field in data and not isinstance(data[text_field], str):
                 raise ScenarioError(
                     f"{text_field} must be a string, got {data[text_field]!r}"
@@ -402,12 +514,15 @@ class ScenarioSpec:
         return cls(
             name=data.get("name", "custom"),
             description=data.get("description", ""),
+            backend=data.get("backend", DEFAULT_BACKEND),
             protocol=build(ProtocolSpec, data.get("protocol", {})),
             topology=build(TopologySpec, data.get("topology", {})),
             workload=build(WorkloadSpec, workload_data, churn=churn),
             adversaries=tuple(
                 build(AdversarySpec, adv) for adv in data.get("adversaries", [])
             ),
+            pbft=build(PbftParams, data.get("pbft", {})),
+            iota=build(IotaParams, data.get("iota", {})),
             seed=int(data.get("seed", 0)),
             per_hop_latency=float(data.get("per_hop_latency", 0.001)),
             scale=scale,

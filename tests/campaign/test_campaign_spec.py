@@ -199,3 +199,16 @@ class TestPresets:
 
         with pytest.raises(KeyError, match="smoke"):
             get_campaign("warp-drive")
+
+    def test_ledger_grid_spans_backends_and_seeds(self):
+        from repro.campaign.presets import get_campaign
+
+        campaign = get_campaign("ledger-grid")
+        assert len(campaign.cells) == 12
+        backends = [cell.scenario.backend for cell in campaign.cells]
+        assert {b: backends.count(b) for b in set(backends)} == {
+            "2ldag": 4, "pbft": 4, "iota": 4,
+        }
+        assert sorted({cell.scenario.seed for cell in campaign.cells}) == [0, 1, 2, 3]
+        # Each cell self-describes its backend in the label.
+        assert any("backend=pbft" in cell.label for cell in campaign.cells)

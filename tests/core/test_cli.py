@@ -67,6 +67,54 @@ class TestScenariosValidate:
         assert main(["scenarios", "validate", str(tmp_path / "nope.json")]) == 2
         assert "not found" in capsys.readouterr().err
 
+    def test_backend_field_accepted(self, capsys, tmp_path):
+        from repro.scenario import get_scenario
+
+        path = tmp_path / "spec.json"
+        get_scenario("ledger-comparison").with_backend("iota").save(path)
+        assert main(["scenarios", "validate", str(path)]) == 0
+        assert "iota backend" in capsys.readouterr().out
+
+    def test_unknown_backend_lists_registered(self, capsys, tmp_path):
+        import json
+
+        from repro.scenario import get_scenario
+
+        payload = get_scenario("quickstart").to_dict()
+        payload["backend"] = "hashgraph"
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(payload))
+        assert main(["scenarios", "validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown ledger backend" in err
+        assert "2ldag" in err and "pbft" in err and "iota" in err
+
+
+class TestBackendFlag:
+    def test_simulate_on_baseline_backend(self, capsys):
+        code = main(["simulate", "--scenario", "quickstart",
+                     "--backend", "pbft"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend pbft" in out
+        assert "trace sha256:" in out
+
+    def test_unknown_backend_flag_exits(self, capsys):
+        with pytest.raises(SystemExit, match="registered"):
+            main(["simulate", "--scenario", "quickstart", "--backend", "nano"])
+
+    def test_verify_rejects_baseline_backend(self, capsys):
+        code = main(["verify", "--scenario", "quickstart",
+                     "--backend", "iota", "--target-slot", "1"])
+        assert code == 2
+        assert "only the '2ldag' backend" in capsys.readouterr().err
+
+    def test_scenarios_list_shows_backend_column(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for line in out.strip().splitlines():
+            assert "2ldag" in line
+
 
 class TestCampaignCommands:
     @pytest.fixture

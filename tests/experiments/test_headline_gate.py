@@ -1,0 +1,83 @@
+"""The headline sanity gate: measured baselines vs closed-form models.
+
+The gate is what licenses extrapolating the paper-scale ratios from
+the analytic cost models — these tests pin that it really compares
+fully simulated PBFT/IOTA runs against the models and trips on drift.
+"""
+
+import pytest
+
+from repro.experiments.headline import (
+    MODEL_AGREEMENT_TOLERANCE,
+    BaselineAgreement,
+    HeadlineDriftError,
+    check_model_agreement,
+    gate_scenario,
+)
+
+
+@pytest.fixture(scope="module")
+def agreements():
+    return check_model_agreement()
+
+
+class TestGateScenario:
+    def test_covers_both_baselines(self):
+        assert gate_scenario("pbft").backend == "pbft"
+        assert gate_scenario("iota").backend == "iota"
+
+    def test_shares_topology_and_seed_with_the_2ldag_preset(self):
+        base = gate_scenario("pbft")
+        assert base.topology == gate_scenario("iota").topology
+        assert base.seed == gate_scenario("iota").seed
+
+
+class TestAgreement:
+    def test_both_backends_within_tolerance(self, agreements):
+        assert {a.backend for a in agreements} == {"pbft", "iota"}
+        for agreement in agreements:
+            assert agreement.within
+            assert agreement.storage_error <= MODEL_AGREEMENT_TOLERANCE
+            assert agreement.traffic_error <= MODEL_AGREEMENT_TOLERANCE
+
+    def test_measured_values_are_real(self, agreements):
+        for agreement in agreements:
+            assert agreement.storage_measured_mb > 0
+            assert agreement.traffic_measured_mbit > 0
+
+
+class TestDriftTrips:
+    def test_outside_tolerance_is_not_within(self):
+        drifted = BaselineAgreement(
+            backend="pbft",
+            storage_measured_mb=2.0,
+            storage_model_mb=1.0,
+            traffic_measured_mbit=1.0,
+            traffic_model_mbit=1.0,
+        )
+        assert not drifted.within
+        assert drifted.storage_error == pytest.approx(1.0)
+
+    def test_gate_never_reads_a_cache(self, tmp_path):
+        # A caching executor must be demoted to a measuring one: seed a
+        # cache, then confirm the gate's cells never land in (or come
+        # from) it.
+        from repro.campaign.executor import CampaignExecutor
+
+        executor = CampaignExecutor(workers=0, cache_dir=str(tmp_path))
+        check_model_agreement(executor)
+        assert not list(tmp_path.glob("cells/*/*.json"))
+
+    def test_check_raises_on_model_drift(self, monkeypatch):
+        # Sabotage the PBFT model: halve its storage prediction and
+        # assert the gate refuses to bless the headline ratios.
+        from repro.baselines.pbft import costmodel
+
+        original = costmodel.PbftCostModel.storage_bits_per_node
+        monkeypatch.setattr(
+            costmodel.PbftCostModel,
+            "storage_bits_per_node",
+            lambda self, slots: original(self, slots) / 2,
+        )
+        with pytest.raises(HeadlineDriftError, match="pbft"):
+            check_model_agreement()

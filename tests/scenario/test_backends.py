@@ -1,0 +1,233 @@
+"""The pluggable ledger backend layer: registry, validation, dispatch,
+determinism, and spec round-trip of the backend parameter blocks."""
+
+import dataclasses
+
+import pytest
+
+from repro.campaign.spec import expand_grid
+from repro.scenario import (
+    DEFAULT_BACKEND,
+    AdversarySpec,
+    ChurnSpec,
+    IotaParams,
+    PbftParams,
+    ProtocolSpec,
+    ScenarioError,
+    ScenarioRunner,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    backend_names,
+    create_backend,
+    get_scenario,
+    ledger_bench_scenario,
+    run_scenario,
+)
+
+ALL_BACKENDS = ("2ldag", "pbft", "iota")
+
+
+def small_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="backend-test",
+        protocol=ProtocolSpec(body_bits=8_000, gamma=2),
+        topology=TopologySpec(kind="grid", rows=3, cols=3),
+        workload=WorkloadSpec(slots=6),
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestRegistry:
+    def test_all_three_backends_registered(self):
+        assert set(backend_names()) == set(ALL_BACKENDS)
+
+    def test_default_backend_listed_first(self):
+        assert backend_names()[0] == DEFAULT_BACKEND
+
+    def test_create_backend_matches_spec(self):
+        for name in ALL_BACKENDS:
+            backend = create_backend(small_spec(backend=name))
+            assert backend.name == name
+
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(ScenarioError, match="2ldag, iota, pbft"):
+            small_spec(backend="tendermint")
+
+    def test_default_spec_uses_2ldag(self):
+        assert small_spec().backend == DEFAULT_BACKEND
+
+
+class TestValidation:
+    def test_baseline_backends_reject_adversaries(self):
+        for name in ("pbft", "iota"):
+            with pytest.raises(ScenarioError, match="does not support adversaries"):
+                small_spec(
+                    backend=name,
+                    adversaries=(AdversarySpec(kind="silent", count=2),),
+                )
+
+    def test_baseline_backends_reject_churn(self):
+        with pytest.raises(ScenarioError, match="does not support churn"):
+            small_spec(
+                backend="pbft",
+                workload=WorkloadSpec(
+                    slots=6, churn=ChurnSpec(offline_nodes=(1,), offline_slot=2)
+                ),
+            )
+
+    def test_baseline_backends_reject_other_generation_periods(self):
+        for period in (2, "random-1-2"):
+            with pytest.raises(ScenarioError, match="generation_period=1"):
+                small_spec(
+                    backend="iota",
+                    workload=WorkloadSpec(slots=6, generation_period=period),
+                )
+
+    def test_with_backend_revalidates(self):
+        spec = small_spec(adversaries=(AdversarySpec(kind="silent", count=2),))
+        with pytest.raises(ScenarioError, match="does not support"):
+            spec.with_backend("iota")
+
+    def test_bad_pbft_params(self):
+        with pytest.raises(ScenarioError, match="view_change_timeout"):
+            PbftParams(view_change_timeout=0)
+
+    def test_bad_iota_tip_strategy(self):
+        with pytest.raises(ScenarioError, match="tip_strategy"):
+            IotaParams(tip_strategy="urts2")
+
+
+class TestRoundTrip:
+    def test_default_backend_omitted_from_dict(self):
+        # Byte-compatibility: pre-backend spec JSON must not change.
+        payload = small_spec().to_dict()
+        assert "backend" not in payload
+        assert "pbft" not in payload
+        assert "iota" not in payload
+
+    def test_backend_field_round_trips(self):
+        for name in ALL_BACKENDS:
+            spec = small_spec(backend=name)
+            again = ScenarioSpec.from_dict(spec.to_dict())
+            assert again == spec
+            assert again.backend == name
+
+    def test_param_blocks_round_trip(self):
+        spec = small_spec(
+            backend="iota",
+            pbft=PbftParams(view_change_timeout=2.0, settle_time=1.0),
+            iota=IotaParams(tip_strategy="mcmc", mcmc_alpha=0.5),
+        )
+        payload = spec.to_dict()
+        assert payload["backend"] == "iota"
+        assert payload["pbft"]["view_change_timeout"] == 2.0
+        assert payload["iota"]["tip_strategy"] == "mcmc"
+        assert ScenarioSpec.from_dict(payload) == spec
+
+    def test_unknown_param_block_field_rejected(self):
+        payload = small_spec(backend="pbft").to_dict()
+        payload["pbft"] = {"quorum": 3}
+        with pytest.raises(ScenarioError, match="quorum"):
+            ScenarioSpec.from_dict(payload)
+
+    def test_unknown_backend_rejected_on_load(self):
+        payload = small_spec().to_dict()
+        payload["backend"] = "nano"
+        with pytest.raises(ScenarioError, match="unknown ledger backend"):
+            ScenarioSpec.from_dict(payload)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_same_spec_same_trace_and_series(self, backend):
+        spec = small_spec(backend=backend)
+        first, second = run_scenario(spec), run_scenario(spec)
+        assert first.trace_sha256 == second.trace_sha256
+        assert first.series == second.series
+        assert first.per_node_storage_mb == second.per_node_storage_mb
+        assert first.events == second.events
+
+    def test_iota_seed_reaches_trace(self):
+        # Tip selection draws from the seeded streams, so the master
+        # seed must be observable in the tangle trace.
+        first = run_scenario(small_spec(backend="iota"))
+        second = run_scenario(small_spec(backend="iota", seed=12))
+        assert first.trace_sha256 != second.trace_sha256
+
+    def test_backends_disagree_on_trace(self):
+        digests = {
+            run_scenario(small_spec(backend=b)).trace_sha256
+            for b in ALL_BACKENDS
+        }
+        assert len(digests) == len(ALL_BACKENDS)
+
+
+class TestDispatch:
+    def test_runner_exposes_2ldag_internals(self):
+        runner = ScenarioRunner(small_spec()).build()
+        assert runner.deployment is not None
+        assert runner.workload is not None
+        assert runner.backend.name == DEFAULT_BACKEND
+
+    def test_baseline_runner_has_no_2ldag_internals(self):
+        runner = ScenarioRunner(small_spec(backend="pbft")).build()
+        assert runner.deployment is None
+        assert runner.workload is None
+        assert runner.backend.cluster is not None
+
+    def test_result_series_shape_is_uniform(self):
+        spec = small_spec(workload=WorkloadSpec(slots=6, sample_slots=(2, 4, 6)))
+        for backend in ALL_BACKENDS:
+            result = run_scenario(dataclasses.replace(spec, backend=backend))
+            assert result.sample_slots == [2, 4, 6]
+            for series in result.series.values():
+                assert len(series) == 3
+            assert result.storage_mb[0] < result.storage_mb[-1]
+
+    def test_traffic_category_split(self):
+        spec = small_spec()
+        pbft = run_scenario(spec.with_backend("pbft"))
+        iota = run_scenario(spec.with_backend("iota"))
+        assert pbft.traffic_dag_mbit[-1] == 0.0
+        assert pbft.traffic_pop_mbit[-1] == pbft.traffic_mbit[-1] > 0
+        assert iota.traffic_pop_mbit[-1] == 0.0
+        assert iota.traffic_dag_mbit[-1] == iota.traffic_mbit[-1] > 0
+
+    def test_baselines_store_everything(self):
+        # The comparative claim in miniature: full replication on the
+        # baselines vs header-sized 2LDAG state.
+        results = {
+            b: run_scenario(small_spec(backend=b)) for b in ALL_BACKENDS
+        }
+        assert results["pbft"].storage_mb[-1] > 5 * results["2ldag"].storage_mb[-1]
+        assert results["iota"].storage_mb[-1] > 5 * results["2ldag"].storage_mb[-1]
+
+    def test_mcmc_tip_strategy_dispatch(self):
+        spec = small_spec(
+            backend="iota",
+            iota=IotaParams(tip_strategy="mcmc", mcmc_alpha=0.25),
+        )
+        runner = ScenarioRunner(spec).build()
+        node = next(iter(runner.backend.network.nodes.values()))
+        assert node.tip_strategy == "mcmc"
+        assert node.mcmc_alpha == 0.25
+
+
+class TestGridExpansion:
+    def test_backend_axis_expands(self):
+        cells = expand_grid(
+            get_scenario("ledger-comparison"),
+            {"backend": ["2ldag", "pbft", "iota"], "seed": [0, 1]},
+        )
+        assert len(cells) == 6
+        assert {c.scenario.backend for c in cells} == set(ALL_BACKENDS)
+        assert len({c.digest() for c in cells}) == 6
+
+    def test_ledger_bench_scenarios_validate(self):
+        for backend in ("pbft", "iota"):
+            for fast in (True, False):
+                spec = ledger_bench_scenario(backend, fast=fast)
+                assert spec.backend == backend
