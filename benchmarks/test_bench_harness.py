@@ -32,6 +32,26 @@ class TestRunner:
         assert len(metrics["trace_sha256"]) == 64
         assert metrics["success_rate"] == 1.0
 
+    def test_slot_sim_faults_row(self):
+        results = bench_runner.run_benchmarks(
+            fast=True, only=["slot_sim", "slot_sim_faults"]
+        )
+        faulted = results["slot_sim_faults"].metrics
+        assert faulted["faulted"] is True
+        assert faulted["scenario"] == "bench-fast-faults"
+        assert len(faulted["trace_sha256"]) == 64
+        # The injected crash must reach the macro trace; the fault-free
+        # row must not move (the golden digest pins it too).
+        clean = results["slot_sim"].metrics
+        assert faulted["trace_sha256"] != clean["trace_sha256"]
+        assert faulted["blocks"] < clean["blocks"]
+
+    def test_fault_row_deterministic(self):
+        first = bench_runner.run_benchmarks(fast=True, only=["slot_sim_faults"])
+        second = bench_runner.run_benchmarks(fast=True, only=["slot_sim_faults"])
+        assert (first["slot_sim_faults"].metrics["trace_sha256"]
+                == second["slot_sim_faults"].metrics["trace_sha256"])
+
     def test_results_document_shape(self):
         results = bench_runner.run_benchmarks(
             fast=True, only=["header_references"]

@@ -44,6 +44,10 @@ class IotaNode:
         self.mcmc_alpha = mcmc_alpha
         self.tangle = Tangle()
         self._issued = 0
+        #: A crashed node neither issues nor processes gossip until it
+        #: comes back online (fault injection; radio receipt of frames
+        #: addressed to a down node is still accounted by the network).
+        self.online = True
         self.interface: NodeInterface = network.attach(node_id)
         self.interface.on(KIND_TX, self._on_transaction)
 
@@ -71,6 +75,8 @@ class IotaNode:
 
     # -- gossip ---------------------------------------------------------------
     def _on_transaction(self, message: Message) -> None:
+        if not self.online:
+            return
         transaction: Transaction = message.payload
         if self.tangle.add(transaction):
             self._forward(transaction, exclude=message.sender)
@@ -134,6 +140,8 @@ class IotaNetwork:
             # Never schedule behind the clock after a previous settle.
             slot_time = max(float(slot), self.sim.now)
             for node in self.nodes.values():
+                if not node.online:
+                    continue
                 self.sim.call_at(
                     slot_time, lambda n=node: n.issue(self.payload_bits)
                 )

@@ -85,6 +85,28 @@ class PbftCluster:
         # Let the three phases drain for the final slot's requests.
         self.sim.run(until=self.sim.now + settle_time)
 
+    # -- fault injection ----------------------------------------------------
+    def crash(self, node_ids) -> None:
+        """Crash the named replicas: they stop sending and processing.
+
+        Crashing the current primary is the PBFT view-change stress
+        test — live replicas' timers expire and they elect a new view.
+        """
+        for node_id in node_ids:
+            self.replicas[node_id].crashed = True
+
+    def recover(self, node_ids) -> None:
+        """Un-crash the named replicas.
+
+        A recovered replica resumes protocol participation from its
+        pre-crash state; there is no state transfer, so its chain only
+        grows again once it can execute in sequence order (committed
+        heights it missed stay deferred) — the honest cost of rejoining
+        that the fault experiments measure.
+        """
+        for node_id in node_ids:
+            self.replicas[node_id].crashed = False
+
     # -- measurement --------------------------------------------------------
     @property
     def node_ids(self) -> List[int]:

@@ -22,6 +22,8 @@ regression coverage, so don't):
 ``dag_insert_chain``       LogicalDag insertion of a 200-header chain
 ``slot_sim``               the macro workload (wall seconds, events/s,
                            blocks/s and a canonical trace digest)
+``slot_sim_faults``        the macro workload under a mid-run crash +
+                           rejoin (the fault-engine overhead row)
 ``slot_sim_pbft``          the PBFT baseline backend's macro workload
 ``slot_sim_iota``          the IOTA baseline backend's macro workload
 """
@@ -51,6 +53,7 @@ TRACKED_OPS = (
     "kernel_cancel_churn",
     "dag_insert_chain",
     "slot_sim",
+    "slot_sim_faults",
     "slot_sim_pbft",
     "slot_sim_iota",
 )
@@ -463,6 +466,18 @@ def run_benchmarks(
         results["slot_sim"] = result
         metrics = result.metrics
         log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "
+            f"{metrics['events_per_sec']:,.0f} events/s, "
+            f"{metrics['blocks_per_sec']:,.0f} blocks/s, "
+            f"trace {str(metrics['trace_sha256'])[:12]}…")
+    if not only or "slot_sim_faults" in only:
+        from repro.scenario import fault_bench_scenario
+
+        result = _run_slot_sim(fast, spec=fault_bench_scenario(fast))
+        result.name = "slot_sim_faults"
+        result.metrics["faulted"] = True
+        results["slot_sim_faults"] = result
+        metrics = result.metrics
+        log(f"{'slot_sim_faults':<26} {metrics['wall_s']:.3f} s wall, "
             f"{metrics['events_per_sec']:,.0f} events/s, "
             f"{metrics['blocks_per_sec']:,.0f} blocks/s, "
             f"trace {str(metrics['trace_sha256'])[:12]}…")

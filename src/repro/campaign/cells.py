@@ -39,6 +39,7 @@ KIND_HOME_MODULES: Dict[str, str] = {
     "gamma-sweep-point": "repro.experiments.sweeps",
     "density-sweep-point": "repro.experiments.sweeps",
     "attack-audit": "repro.experiments.attack_compare",
+    "fault-grid-point": "repro.experiments.fault_resilience",
 }
 
 

@@ -100,6 +100,23 @@ def _ledger_grid() -> CampaignSpec:
     )
 
 
+@register_campaign("fault-grid")
+def _fault_grid() -> CampaignSpec:
+    """Every backend under escalating fault intensity — the resilience grid."""
+    from repro.experiments.fault_resilience import fault_grid_cells
+
+    return CampaignSpec(
+        name="fault-grid",
+        description=(
+            "fault resilience on every registered backend: 3 backends x "
+            "fault intensities {none, crash, stress} x 2 seeds — 18 cells "
+            "measuring consensus progress, storage and PoP success under "
+            "crash/rejoin, partitions and degraded links"
+        ),
+        cells=fault_grid_cells(),
+    )
+
+
 @register_campaign("fig7-quick")
 def _fig7_quick() -> CampaignSpec:
     """The three Fig. 7 body sizes at quick scale as one fleet."""

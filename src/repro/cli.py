@@ -3,7 +3,8 @@
 Run as ``python -m repro <command>``:
 
 * ``simulate``  — run a scenario's slot workload and print a summary
-  (including the canonical trace digest);
+  (including the canonical trace digest), optionally under an injected
+  fault timeline (``--faults FILE|PRESET``, see ``docs/faults.md``);
 * ``verify``    — run one PoP verification and print the outcome;
 * ``scenarios`` — ``list`` the named presets, ``show`` one as JSON, or
   ``validate`` a hand-written spec file without running it;
@@ -29,6 +30,8 @@ golden digests.  Examples::
     python -m repro simulate --nodes 25 --slots 40 --gamma 8
     python -m repro simulate --scenario quickstart
     python -m repro simulate --scenario ledger-comparison --backend pbft
+    python -m repro simulate --scenario fault-demo --backend iota
+    python -m repro simulate --scenario quickstart --faults mid-crash
     python -m repro scenarios show quickstart > s.json
     python -m repro scenarios validate s.json
     python -m repro simulate --scenario s.json
@@ -47,6 +50,12 @@ import sys
 from typing import List, Optional
 
 from repro.experiments.common import ExperimentScale
+from repro.faults import (
+    FaultError,
+    FaultScheduleSpec,
+    build_fault_preset,
+    fault_preset_names,
+)
 from repro.metrics.charts import render_chart
 from repro.scenario import (
     DEFAULT_BACKEND,
@@ -62,15 +71,25 @@ from repro.scenario import (
 )
 
 
+def _looks_like_file(value: str) -> bool:
+    """Whether a NAME|FILE argument should resolve as a file path."""
+    return value.endswith(".json") or os.path.sep in value or os.path.exists(value)
+
+
+def _load_from_file(label: str, value: str, from_file):
+    """Load a spec file, mapping failures to CLI-friendly exits."""
+    try:
+        return from_file(value)
+    except FileNotFoundError:
+        raise SystemExit(f"{label} file not found: {value}")
+    except ValueError as error:
+        raise SystemExit(f"invalid {label} file {value}: {error}")
+
+
 def _load_scenario(value: str) -> ScenarioSpec:
     """Resolve ``--scenario`` input: a JSON file path or a preset name."""
-    if value.endswith(".json") or os.path.sep in value or os.path.exists(value):
-        try:
-            return ScenarioSpec.from_file(value)
-        except FileNotFoundError:
-            raise SystemExit(f"scenario file not found: {value}")
-        except (ScenarioError, ValueError) as error:
-            raise SystemExit(f"invalid scenario file {value}: {error}")
+    if _looks_like_file(value):
+        return _load_from_file("scenario", value, ScenarioSpec.from_file)
     try:
         return get_scenario(value)
     except KeyError:
@@ -95,8 +114,23 @@ def _inline_spec(args, validate: bool, run_until_quiet: bool) -> ScenarioSpec:
     )
 
 
+def _load_faults(value: str, spec: ScenarioSpec) -> FaultScheduleSpec:
+    """Resolve ``--faults`` input: a schedule JSON file or a preset name.
+
+    Presets are parameterized builders, scaled to the scenario's node
+    count and slot count at resolution time.
+    """
+    if _looks_like_file(value):
+        return _load_from_file("fault schedule", value, FaultScheduleSpec.from_file)
+    try:
+        return build_fault_preset(value, spec.node_count, spec.workload.slots)
+    except FaultError as error:
+        raise SystemExit(str(error))
+
+
 def _scenario_spec(args, validate: bool = False, run_until_quiet: bool = False) -> ScenarioSpec:
-    """The spec a workload subcommand should run (``--backend`` applied)."""
+    """The spec a workload subcommand should run (``--backend``/``--faults``
+    applied)."""
     if args.scenario:
         spec = _load_scenario(args.scenario)
     else:
@@ -107,6 +141,15 @@ def _scenario_spec(args, validate: bool = False, run_until_quiet: bool = False) 
             spec = spec.with_backend(backend)
         except ScenarioError as error:
             raise SystemExit(f"cannot run on backend {backend!r}: {error}")
+    faults = getattr(args, "faults", None)
+    if faults:
+        schedule = _load_faults(faults, spec)
+        try:
+            # --faults overrides whatever the spec declared (a legacy
+            # churn block included).
+            spec = spec.with_workload(faults=schedule, churn=None)
+        except (ScenarioError, FaultError) as error:
+            raise SystemExit(f"cannot apply fault schedule: {error}")
     return spec
 
 
@@ -141,8 +184,8 @@ def _spec_scale(spec: ScenarioSpec) -> ExperimentScale:
         ignored.append(f"topology kind {spec.topology.kind!r}")
     if spec.adversaries:
         ignored.append("adversaries")
-    if spec.workload.churn is not None:
-        ignored.append("churn")
+    if spec.workload.fault_schedule() is not None:
+        ignored.append("churn" if spec.workload.churn is not None else "faults")
     if ignored:
         print(
             f"note: figure commands use the scenario's scale only; "
@@ -178,8 +221,14 @@ def _scale_from_args(args, spec: Optional[ScenarioSpec] = None) -> ExperimentSca
 def cmd_simulate(args) -> int:
     """Run a scenario's slot workload; print its summary and trace digest."""
     spec = _scenario_spec(args, validate=args.validate, run_until_quiet=True)
-    result = ScenarioRunner(spec).run()
+    runner = ScenarioRunner(spec)
+    result = runner.run()
     print(result.summary())
+    if runner.fault_engine is not None:
+        applied = runner.fault_engine.applied
+        print(f"faults applied: {len(applied)} event(s)")
+        for event in applied:
+            print(f"  {event.describe()}")
     return 0
 
 
@@ -215,7 +264,7 @@ def cmd_scenarios(args) -> int:
     """List the scenario presets, print one as JSON, or validate a file."""
     if args.action == "list":
         width = max(len(name) for name in scenario_names())
-        bwidth = max(len("backend"), max(len(b) for b in backend_names()))
+        bwidth = max(len(b) for b in backend_names())
         for name in scenario_names():
             spec = get_scenario(name)
             print(f"{name:<{width}}  {spec.backend:<{bwidth}}  {spec.description}")
@@ -233,6 +282,15 @@ def cmd_scenarios(args) -> int:
               f"({spec.backend} backend, {spec.node_count} nodes, "
               f"{spec.workload.slots} slots, "
               f"gamma {spec.protocol.gamma}, seed {spec.seed})")
+        schedule = spec.workload.fault_schedule()
+        if schedule is not None:
+            source = (
+                "compiled from churn" if spec.workload.faults is None
+                else "declared timeline"
+            )
+            print(f"fault schedule ({len(schedule.events)} event(s), {source}):")
+            for line in schedule.describe():
+                print(f"  {line}")
         return 0
     # show
     try:
@@ -247,15 +305,10 @@ def cmd_scenarios(args) -> int:
 
 def _load_campaign(value: str):
     """Resolve campaign input: a JSON document path or a preset name."""
-    from repro.campaign import CampaignError, CampaignSpec, campaign_names, get_campaign
+    from repro.campaign import CampaignSpec, campaign_names, get_campaign
 
-    if value.endswith(".json") or os.path.sep in value or os.path.exists(value):
-        try:
-            return CampaignSpec.from_file(value)
-        except FileNotFoundError:
-            raise SystemExit(f"campaign file not found: {value}")
-        except (CampaignError, ScenarioError, ValueError) as error:
-            raise SystemExit(f"invalid campaign file {value}: {error}")
+    if _looks_like_file(value):
+        return _load_from_file("campaign", value, CampaignSpec.from_file)
     try:
         return get_campaign(value)
     except KeyError:
@@ -494,6 +547,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slots", type=int, default=40)
     p.add_argument("--validate", action="store_true",
                    help="run generation-time PoP validations")
+    p.add_argument("--faults", default=None, metavar="FILE|PRESET",
+                   help="inject a fault timeline: a schedule JSON file or "
+                        f"a preset ({', '.join(fault_preset_names())}), "
+                        "scaled to the scenario; overrides the spec's own "
+                        "faults/churn (see docs/faults.md)")
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("verify", help="verify one block via PoP")

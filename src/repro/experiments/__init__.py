@@ -14,6 +14,8 @@ prints the rows the paper plots.  The benchmark harness under
   figures.
 * :mod:`repro.experiments.attack_compare` — the PoP audit scoreboard
   across the adversary roster.
+* :mod:`repro.experiments.fault_resilience` — every ledger backend
+  under escalating fault timelines (the ``fault-grid`` campaign).
 
 Multi-run experiments accept an ``executor=`` (a
 :class:`~repro.campaign.executor.CampaignExecutor`) to fan their cells
@@ -39,6 +41,8 @@ _LAZY = {
     "run_headline": "repro.experiments.headline",
     "AttackAuditPoint": "repro.experiments.attack_compare",
     "run_attack_comparison": "repro.experiments.attack_compare",
+    "FaultGridResult": "repro.experiments.fault_resilience",
+    "run_fault_resilience": "repro.experiments.fault_resilience",
 }
 
 
@@ -54,11 +58,13 @@ def __getattr__(name):
 __all__ = [
     "AttackAuditPoint",
     "ExperimentScale",
+    "FaultGridResult",
     "Fig7Result",
     "Fig8Result",
     "Fig9Result",
     "HeadlineResult",
     "run_attack_comparison",
+    "run_fault_resilience",
     "run_fig7",
     "run_fig7_panels",
     "run_fig8",

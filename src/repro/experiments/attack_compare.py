@@ -171,8 +171,9 @@ def run_attack_comparison(
 
 def comparison_table(points: Sequence[AttackAuditPoint]) -> str:
     """The scoreboard as an aligned text table."""
-    header = ["scenario", "audits", "success", "mean msgs", "routed around"]
-    rows = [header]
+    from repro.metrics.reporting import format_table
+
+    rows = []
     for point in points:
         label = point.scenario + (" (victim view)" if point.eclipsed else "")
         rows.append([
@@ -182,12 +183,6 @@ def comparison_table(points: Sequence[AttackAuditPoint]) -> str:
             f"{point.mean_messages:.1f}",
             str(point.malicious_encounters),
         ])
-    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
-    lines = []
-    for index, row in enumerate(rows):
-        lines.append(
-            " | ".join(cell.ljust(widths[col]) for col, cell in enumerate(row))
-        )
-        if index == 0:
-            lines.append("-+-".join("-" * width for width in widths))
-    return "\n".join(lines)
+    return format_table(
+        ["scenario", "audits", "success", "mean msgs", "routed around"], rows
+    )

@@ -1,0 +1,69 @@
+"""The fault engine: replay a schedule against a ledger backend.
+
+:class:`FaultEngine` owns the timeline position; the
+:class:`~repro.scenario.runner.ScenarioRunner` pauses at every
+:attr:`~repro.faults.spec.FaultScheduleSpec.boundary_slots` entry and
+calls :meth:`FaultEngine.apply_due`, which dispatches each due event
+through the backend's ``apply_fault`` hook (see
+:class:`~repro.scenario.backends.LedgerBackend`).  Events fire in
+timeline order exactly once, *before* their slot is scheduled — the
+same semantics the legacy churn path had, which is what makes
+ChurnSpec → schedule compilation trace-identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.faults.spec import FaultError, FaultEvent, FaultScheduleSpec
+
+
+class FaultCapabilityError(FaultError):
+    """A backend was asked to apply a fault kind it does not support.
+
+    The message carries the backend's full capability roster so a user
+    can immediately see what *would* work.
+    """
+
+    def __init__(self, backend: str, kind: str, capabilities: Sequence[str]) -> None:
+        self.backend = backend
+        self.kind = kind
+        self.capabilities = tuple(capabilities)
+        roster = ", ".join(self.capabilities) if self.capabilities else "none"
+        super().__init__(
+            f"the {backend} backend does not support fault kind {kind!r}; "
+            f"its capabilities: {roster}"
+        )
+
+
+class FaultEngine:
+    """Apply a :class:`FaultScheduleSpec` to a backend at slot boundaries."""
+
+    def __init__(self, schedule: FaultScheduleSpec, backend) -> None:
+        self.schedule = schedule
+        self.backend = backend
+        self.applied: List[FaultEvent] = []
+        self._position = 0
+
+    @property
+    def boundary_slots(self) -> Tuple[int, ...]:
+        """Slots the runner must stop at so events fire on time."""
+        return self.schedule.boundary_slots
+
+    @property
+    def pending(self) -> int:
+        """Events not yet applied."""
+        return len(self.schedule.events) - self._position
+
+    def apply_due(self, slot: int) -> None:
+        """Fire every not-yet-applied event whose slot is ``<= slot``.
+
+        Called with the next slot about to be scheduled, so an event at
+        slot ``s`` takes effect before any slot-``s`` work is enqueued.
+        """
+        events = self.schedule.events
+        while self._position < len(events) and events[self._position].slot <= slot:
+            event = events[self._position]
+            self.backend.apply_fault(event)
+            self.applied.append(event)
+            self._position += 1

@@ -1,0 +1,136 @@
+"""Named fault-schedule builders, parameterized on the scenario shape.
+
+A fault preset cannot be a constant: which nodes crash and when depends
+on how many nodes and slots the scenario has.  Each builder therefore
+takes ``(node_count, slots)`` and returns a concrete
+:class:`~repro.faults.spec.FaultScheduleSpec` scaled to that shape —
+the CLI resolves ``--faults PRESET`` against the scenario it is about
+to run, and the ``fault-grid`` campaign resolves intensities against
+its cell scenarios.
+
+Crashed nodes are always the *lowest* ids: on the PBFT backend node 0
+is the view-0 primary, so every crash preset doubles as a view-change
+stress test — exactly the scenario the ROADMAP's backend-layer item
+asks for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.faults.spec import (
+    HEAL,
+    LINK_DEGRADE,
+    NODE_CRASH,
+    NODE_REJOIN,
+    PARTITION,
+    FaultError,
+    FaultEvent,
+    FaultScheduleSpec,
+)
+
+#: name -> builder(node_count, slots) -> FaultScheduleSpec
+_PRESETS: Dict[str, Callable[[int, int], FaultScheduleSpec]] = {}
+
+
+def register_fault_preset(
+    name: str,
+) -> Callable[[Callable[[int, int], FaultScheduleSpec]], Callable[[int, int], FaultScheduleSpec]]:
+    """Register the decorated ``(node_count, slots)`` builder under ``name``."""
+
+    def decorate(builder: Callable[[int, int], FaultScheduleSpec]):
+        if name in _PRESETS:
+            raise ValueError(f"fault preset {name!r} is already registered")
+        _PRESETS[name] = builder
+        return builder
+
+    return decorate
+
+
+def fault_preset_names() -> List[str]:
+    """All registered fault preset names, sorted."""
+    return sorted(_PRESETS)
+
+
+def build_fault_preset(name: str, node_count: int, slots: int) -> FaultScheduleSpec:
+    """The preset schedule scaled to ``node_count`` nodes / ``slots`` slots."""
+    builder = _PRESETS.get(name)
+    if builder is None:
+        raise FaultError(
+            f"unknown fault preset {name!r}; known: {', '.join(fault_preset_names())}"
+        )
+    if node_count < 4:
+        raise FaultError(
+            f"fault presets need at least 4 nodes, got {node_count}"
+        )
+    if slots < 4:
+        raise FaultError(f"fault presets need at least 4 slots, got {slots}")
+    return builder(node_count, slots)
+
+
+def _crash_set(node_count: int, fraction: int) -> Tuple[int, ...]:
+    """The lowest ``max(1, node_count // fraction)`` node ids."""
+    return tuple(range(max(1, node_count // fraction)))
+
+
+@register_fault_preset("mid-crash")
+def _mid_crash(node_count: int, slots: int) -> FaultScheduleSpec:
+    """A quarter of the nodes crash a third in and rejoin at two thirds."""
+    nodes = _crash_set(node_count, 4)
+    return FaultScheduleSpec(
+        events=(
+            FaultEvent(kind=NODE_CRASH, slot=slots // 3, nodes=nodes),
+            FaultEvent(kind=NODE_REJOIN, slot=(2 * slots) // 3, nodes=nodes),
+        )
+    )
+
+
+@register_fault_preset("partition-heal")
+def _partition_heal(node_count: int, slots: int) -> FaultScheduleSpec:
+    """The low half splits from the rest mid-run, then the net heals."""
+    half = tuple(range(node_count // 2))
+    return FaultScheduleSpec(
+        events=(
+            FaultEvent(kind=PARTITION, slot=slots // 3, groups=(half,)),
+            FaultEvent(kind=HEAL, slot=(2 * slots) // 3),
+        )
+    )
+
+
+@register_fault_preset("lossy-links")
+def _lossy_links(node_count: int, slots: int) -> FaultScheduleSpec:
+    """Every link drops 5% of frames and slows down for the middle half."""
+    return FaultScheduleSpec(
+        events=(
+            FaultEvent(
+                kind=LINK_DEGRADE, slot=slots // 4, loss=0.05, extra_latency=0.002
+            ),
+            FaultEvent(kind=LINK_DEGRADE, slot=(3 * slots) // 4),
+        )
+    )
+
+
+@register_fault_preset("stress")
+def _stress(node_count: int, slots: int) -> FaultScheduleSpec:
+    """Escalating compound faults: degrade, crash, partition, recover.
+
+    The order is deliberate — degradation lands first, the crash hits
+    the view-0 primary, the partition isolates the low half while nodes
+    are down, and everything recovers before the final quarter so the
+    run also measures recovery behaviour.
+    """
+    nodes = _crash_set(node_count, 6)
+    half = tuple(range(node_count // 2))
+    recover = (3 * slots) // 4
+    return FaultScheduleSpec(
+        events=(
+            FaultEvent(
+                kind=LINK_DEGRADE, slot=slots // 4, loss=0.02, extra_latency=0.001
+            ),
+            FaultEvent(kind=NODE_CRASH, slot=slots // 3, nodes=nodes),
+            FaultEvent(kind=PARTITION, slot=slots // 2, groups=(half,)),
+            FaultEvent(kind=HEAL, slot=recover),
+            FaultEvent(kind=NODE_REJOIN, slot=recover, nodes=nodes),
+            FaultEvent(kind=LINK_DEGRADE, slot=recover),
+        )
+    )

@@ -45,6 +45,28 @@ def format_series_table(
     return "\n".join(lines)
 
 
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render pre-formatted string cells as an aligned text table.
+
+    The generic sibling of :func:`format_series_table` for tables whose
+    cells are not one numeric series per column (mixed labels, ratios,
+    missing values).
+    """
+    table: List[List[str]] = [list(header)] + [list(row) for row in rows]
+    for row in table:
+        if len(row) != len(header):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(header)}: {row}"
+            )
+    widths = [max(len(r[c]) for r in table) for c in range(len(header))]
+    lines = []
+    for r_index, row in enumerate(table):
+        lines.append(" | ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        if r_index == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
 def render_cdf_rows(
     points: Sequence[Tuple[float, float]], value_label: str = "value"
 ) -> str:

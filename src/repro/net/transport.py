@@ -164,6 +164,17 @@ class Network:
         """Install a per-hop drop predicate ``rule(message, from, to)``."""
         self._drop_rules.append(rule)
 
+    def remove_drop_rule(self, rule: DropRule) -> None:
+        """Uninstall one previously added drop rule (no-op if absent).
+
+        Fault injection needs targeted removal — healing a partition
+        must not also clear an eclipse adversary's rule.
+        """
+        try:
+            self._drop_rules.remove(rule)
+        except ValueError:
+            pass
+
     def clear_drop_rules(self) -> None:
         """Remove all drop rules."""
         self._drop_rules.clear()

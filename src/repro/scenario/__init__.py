@@ -26,6 +26,7 @@ from repro.scenario.backends import (
 )
 from repro.scenario.registry import (
     bench_scenario,
+    fault_bench_scenario,
     fig7_scenario,
     fig8_scenario,
     fig9_scenario,
@@ -78,6 +79,7 @@ __all__ = [
     "bench_scenario",
     "build_topology",
     "create_backend",
+    "fault_bench_scenario",
     "fig7_scenario",
     "fig8_scenario",
     "fig9_scenario",

@@ -5,7 +5,12 @@ ScenarioRunner` drives: it builds a deployment from a
 :class:`~repro.scenario.spec.ScenarioSpec`, advances it slot by slot,
 drains it, snapshots the storage/traffic series and reports a
 canonical trace digest.  The runner owns the *schedule* (sample slots,
-churn boundaries, result assembly); the backend owns the *ledger*.
+fault boundaries, result assembly); the backend owns the *ledger* and
+declares which fault event kinds it honours (``fault_capabilities``)
+via the hooks the :class:`~repro.faults.engine.FaultEngine` dispatches
+through — crash/rejoin are ledger-specific, while partition/heal and
+link degradation come for free from the shared wireless substrate
+(:meth:`LedgerBackend._fault_network`).
 
 Three backends are registered:
 
@@ -38,9 +43,21 @@ from __future__ import annotations
 import hashlib
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, ClassVar, Dict, Iterable, List, Optional, Type
+from typing import Callable, ClassVar, Dict, Iterable, List, Optional, Tuple, Type
 
+from repro.faults.engine import FaultCapabilityError
+from repro.faults.spec import (
+    FAULT_KINDS,
+    HEAL,
+    LINK_DEGRADE,
+    NODE_CRASH,
+    NODE_REJOIN,
+    PARTITION,
+    FaultError,
+    FaultEvent,
+)
 from repro.metrics.units import bits_to_mb, bits_to_mbit
+from repro.net.linkmodels import LinkDegradation, partition_drop_rule
 from repro.net.topology import (
     Topology,
     grid_topology,
@@ -116,15 +133,102 @@ class LedgerBackend(ABC):
     then :meth:`advance_slots` over contiguous slot ranges in order,
     then :meth:`finalize` once, after which :meth:`collect` and
     :meth:`trace_digest` describe the finished run.  :meth:`sample` may
-    be called at any slot boundary.
+    be called at any slot boundary, and :meth:`apply_fault` at any
+    boundary between driven ranges (the fault engine's dispatch point).
     """
 
     #: Registry name; also the value of ``ScenarioSpec.backend``.
     name: ClassVar[str] = ""
 
+    #: Fault event kinds this backend honours; spec validation checks a
+    #: scenario's schedule (or compiled churn) against this roster, and
+    #: :meth:`apply_fault` re-checks at dispatch time so a mid-run
+    #: schedule swap cannot smuggle an unsupported event through.
+    fault_capabilities: ClassVar[Tuple[str, ...]] = ()
+
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
         self.streams: Optional[RandomStreams] = None
+        self._partition_rule = None
+        self._degradation: Optional[LinkDegradation] = None
+
+    # -- fault hooks --------------------------------------------------------
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Dispatch one due fault event to the kind-specific hook."""
+        if event.kind not in self.fault_capabilities:
+            raise FaultCapabilityError(
+                backend=self.name, kind=event.kind,
+                capabilities=self.fault_capabilities,
+            )
+        if event.kind == NODE_CRASH:
+            self.crash_nodes(event.nodes)
+        elif event.kind == NODE_REJOIN:
+            self.rejoin_nodes(event.nodes, forgive=event.forgive)
+        elif event.kind == PARTITION:
+            self.set_partition(event.groups)
+        elif event.kind == HEAL:
+            self.heal_partition()
+        elif event.kind == LINK_DEGRADE:
+            self.degrade_links(event.loss, event.extra_latency)
+
+    def crash_nodes(self, node_ids: Iterable[int]) -> None:
+        """Take the named nodes down (ledger-specific semantics).
+
+        Only reachable when a backend *declares* the capability but
+        forgot the hook (``apply_fault`` gates undeclared kinds first),
+        so the error names the missing implementation, not the roster.
+        """
+        raise FaultError(
+            f"the {self.name} backend declares {NODE_CRASH!r} capability "
+            f"but implements no crash_nodes()"
+        )
+
+    def rejoin_nodes(self, node_ids: Iterable[int], forgive: bool) -> None:
+        """Bring previously crashed nodes back."""
+        raise FaultError(
+            f"the {self.name} backend declares {NODE_REJOIN!r} capability "
+            f"but implements no rejoin_nodes()"
+        )
+
+    def _fault_network(self):
+        """The :class:`~repro.net.transport.Network` link faults act on.
+
+        Backends whose deployment rides the shared wireless substrate
+        return it here and inherit working partition/heal/link-degrade
+        hooks for free.
+        """
+        raise FaultError(
+            f"the {self.name} backend declares link-level fault "
+            f"capabilities but implements no _fault_network()"
+        )
+
+    def set_partition(self, groups) -> None:
+        """Split the network along ``groups`` (cross-group hops drop)."""
+        network = self._fault_network()
+        self._partition_rule = partition_drop_rule(groups)
+        network.add_drop_rule(self._partition_rule)
+
+    def heal_partition(self) -> None:
+        """Remove the active partition (schedule validation ensures one)."""
+        if self._partition_rule is not None:
+            self._fault_network().remove_drop_rule(self._partition_rule)
+            self._partition_rule = None
+
+    def degrade_links(self, loss: float, extra_latency: float) -> None:
+        """Replace the active link degradation (zeros restore health).
+
+        The loss rule draws from the scenario's named ``faults`` stream
+        so degraded runs stay deterministic per master seed without
+        perturbing any existing stream.
+        """
+        if self._degradation is not None:
+            self._degradation.revoke()
+            self._degradation = None
+        if loss > 0 or extra_latency > 0:
+            self._degradation = LinkDegradation(
+                self._fault_network(), loss, extra_latency,
+                rng=self.streams.get("faults"),
+            )
 
     @abstractmethod
     def build(self) -> None:
@@ -150,18 +254,6 @@ class LedgerBackend(ABC):
     def trace_digest(self) -> str:
         """Hex SHA-256 over everything observable about the run."""
 
-    # -- churn hooks (only the 2LDAG backend supports membership churn;
-    # -- spec validation guarantees the others never see these calls).
-    def take_offline(self, node_ids: Iterable[int]) -> None:
-        raise NotImplementedError(
-            f"the {self.name} backend does not support churn"
-        )
-
-    def bring_online(self, node_ids: Iterable[int], forgive: bool) -> None:
-        raise NotImplementedError(
-            f"the {self.name} backend does not support churn"
-        )
-
 
 #: name -> backend class.
 _BACKENDS: Dict[str, Type[LedgerBackend]] = {}
@@ -184,6 +276,11 @@ def backend_names() -> List[str]:
     return [DEFAULT_BACKEND] + others if DEFAULT_BACKEND in _BACKENDS else others
 
 
+def backend_fault_capabilities(name: str) -> Tuple[str, ...]:
+    """The fault event kinds the named backend declares support for."""
+    return tuple(_BACKENDS[name].fault_capabilities)
+
+
 def create_backend(spec: ScenarioSpec) -> LedgerBackend:
     """The backend instance ``spec.backend`` names (spec validation
     guarantees the name is registered)."""
@@ -204,6 +301,7 @@ class TwoLayerDagBackend(LedgerBackend):
     """
 
     name = DEFAULT_BACKEND
+    fault_capabilities = FAULT_KINDS
 
     def __init__(self, spec: ScenarioSpec) -> None:
         super().__init__(spec)
@@ -325,17 +423,22 @@ class TwoLayerDagBackend(LedgerBackend):
 
         return slot_simulation_trace_digest(self.workload)
 
-    # -- churn ------------------------------------------------------------
-    def take_offline(self, node_ids: Iterable[int]) -> None:
+    # -- faults ------------------------------------------------------------
+    # (the crash/rejoin bodies are the original churn hooks verbatim,
+    # which is what keeps compiled ChurnSpec traces byte-identical)
+    def crash_nodes(self, node_ids: Iterable[int]) -> None:
         for node_id in node_ids:
             self.deployment.node(node_id).go_offline()
 
-    def bring_online(self, node_ids: Iterable[int], forgive: bool) -> None:
+    def rejoin_nodes(self, node_ids: Iterable[int], forgive: bool) -> None:
         for node_id in node_ids:
             self.deployment.node(node_id).come_online()
             if forgive:
                 for other in self.deployment.node_ids:
                     self.deployment.node(other).record_cooperation(node_id)
+
+    def _fault_network(self):
+        return self.deployment.network
 
 
 # -- baselines -----------------------------------------------------------------
@@ -358,6 +461,7 @@ class PbftBackend(LedgerBackend):
     """
 
     name = "pbft"
+    fault_capabilities = FAULT_KINDS
 
     def __init__(self, spec: ScenarioSpec) -> None:
         super().__init__(spec)
@@ -385,6 +489,17 @@ class PbftBackend(LedgerBackend):
     def finalize(self) -> None:
         pass  # every driven chunk already settled
 
+    # -- faults ------------------------------------------------------------
+    def crash_nodes(self, node_ids: Iterable[int]) -> None:
+        self.cluster.crash(node_ids)
+
+    def rejoin_nodes(self, node_ids: Iterable[int], forgive: bool) -> None:
+        # PBFT keeps no cooperation blacklist; ``forgive`` is meaningless.
+        self.cluster.recover(node_ids)
+
+    def _fault_network(self):
+        return self.cluster.network
+
     def sample(self) -> Dict[str, float]:
         cluster = self.cluster
         total = bits_to_mbit(cluster.traffic.mean_tx_bits(cluster.node_ids))
@@ -395,10 +510,15 @@ class PbftBackend(LedgerBackend):
             "traffic_pop_mbit": total,
         }
 
+    def _reference_replicas(self):
+        """Live replicas, or all of them when the whole cluster is down
+        (a schedule may legitimately end mid-crash)."""
+        return self.cluster.live_replicas() or list(self.cluster.replicas.values())
+
     def collect(self) -> BackendMetrics:
         cluster = self.cluster
         return BackendMetrics(
-            total_blocks=max(r.chain.height for r in cluster.live_replicas()),
+            total_blocks=max(r.chain.height for r in self._reference_replicas()),
             per_node_storage_mb=[
                 bits_to_mb(cluster.replicas[n].storage_bits())
                 for n in cluster.node_ids
@@ -415,7 +535,7 @@ class PbftBackend(LedgerBackend):
         cluster = self.cluster
         lines: List[str] = []
         longest = max(
-            (r.chain for r in cluster.live_replicas()), key=lambda c: c.height
+            (r.chain for r in self._reference_replicas()), key=lambda c: c.height
         )
         for sequence in range(longest.height):
             lines.append(
@@ -442,6 +562,7 @@ class IotaBackend(LedgerBackend):
     """
 
     name = "iota"
+    fault_capabilities = FAULT_KINDS
 
     def __init__(self, spec: ScenarioSpec) -> None:
         super().__init__(spec)
@@ -467,6 +588,23 @@ class IotaBackend(LedgerBackend):
 
     def finalize(self) -> None:
         pass  # every driven chunk already settled
+
+    # -- faults ------------------------------------------------------------
+    def crash_nodes(self, node_ids: Iterable[int]) -> None:
+        for node_id in node_ids:
+            self.network.nodes[node_id].online = False
+
+    def rejoin_nodes(self, node_ids: Iterable[int], forgive: bool) -> None:
+        # The tangle keeps no cooperation blacklist; ``forgive`` is a
+        # no-op.  A rejoined node resumes issuing and gossiping but
+        # does not fetch the transactions it missed (no solidification
+        # protocol in this baseline) — the honest cost the fault
+        # experiments measure.
+        for node_id in node_ids:
+            self.network.nodes[node_id].online = True
+
+    def _fault_network(self):
+        return self.network.network
 
     def sample(self) -> Dict[str, float]:
         network = self.network

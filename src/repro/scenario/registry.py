@@ -17,10 +17,12 @@ builders evaluated at their canonical parameters.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from typing import Callable, Dict, List, Optional
 
 from repro.experiments.common import ExperimentScale
+from repro.faults.presets import build_fault_preset
 from repro.metrics.units import mb_to_bits
 from repro.scenario.spec import (
     RANDOM_1_2,
@@ -165,6 +167,29 @@ def bench_scenario(fast: bool) -> ScenarioSpec:
             run_until_quiet=True,
         ),
         seed=7,
+    )
+
+
+def fault_bench_scenario(fast: bool) -> ScenarioSpec:
+    """The bench macro workload under a mid-run crash + rejoin.
+
+    The ``slot_sim_faults`` bench row: identical to
+    :func:`bench_scenario` except a quarter of the nodes crash a third
+    of the way in and rejoin at two thirds, so the row tracks the cost
+    of fault-engine boundaries plus degraded-then-recovering workloads
+    over time.
+    """
+    base = bench_scenario(fast)
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}-faults",
+        description=base.description + " under mid-run crash + rejoin",
+        workload=dataclasses.replace(
+            base.workload,
+            faults=build_fault_preset(
+                "mid-crash", base.topology.size, base.workload.slots
+            ),
+        ),
     )
 
 
@@ -339,6 +364,26 @@ def _churn() -> ScenarioSpec:
             ),
         ),
         seed=77,
+    )
+
+
+@register_scenario
+def _fault_demo() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fault-demo",
+        description=(
+            "16 sensors surviving the 'stress' fault timeline: degraded "
+            "links, a crashed view-0 primary, a mid-run partition, full "
+            "recovery — runs on any backend via --backend"
+        ),
+        protocol=ProtocolSpec(body_bits=80_000, gamma=4, reply_timeout=0.1),
+        topology=TopologySpec(node_count=16),
+        workload=WorkloadSpec(
+            slots=24,
+            generation_period=1,
+            faults=build_fault_preset("stress", 16, 24),
+        ),
+        seed=42,
     )
 
 

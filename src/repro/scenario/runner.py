@@ -10,9 +10,10 @@ The runner does not construct ledgers itself: it dispatches through
 the backend registry (:mod:`repro.scenario.backends`) on
 ``spec.backend`` — ``"2ldag"`` (the paper's protocol, the default),
 ``"pbft"`` or ``"iota"`` — and owns only the schedule: slot
-boundaries, churn application, series sampling and result assembly.
-The same spec therefore runs on any registered ledger, and every
-result carries the same series/digest shape.
+boundaries, fault-timeline application (via the
+:class:`~repro.faults.engine.FaultEngine`), series sampling and result
+assembly.  The same spec therefore runs on any registered ledger, and
+every result carries the same series/digest shape.
 
 The 2LDAG construction recipe is deliberately frozen: one
 :class:`~repro.sim.rng.RandomStreams` per scenario seeds the topology
@@ -41,6 +42,7 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.faults.engine import FaultEngine
 from repro.metrics.reporting import format_series_table
 from repro.scenario.backends import (  # noqa: F401  (re-exported API)
     LedgerBackend,
@@ -176,10 +178,9 @@ class ScenarioRunner:
         self.streams = None
         self.behaviors: Dict[int, object] = {}
         self.sybil_identities: List[object] = []
+        self.fault_engine: Optional[FaultEngine] = None
         self._next_slot = 0
         self._sampled: Dict[int, Dict[str, float]] = {}
-        self._offline_applied = False
-        self._rejoin_applied = False
 
     # -- construction ------------------------------------------------------
     def build(self) -> "ScenarioRunner":
@@ -194,33 +195,18 @@ class ScenarioRunner:
         self.workload = getattr(backend, "workload", None)
         self.behaviors = getattr(backend, "behaviors", {})
         self.sybil_identities = getattr(backend, "sybil_identities", [])
+        schedule = self.spec.workload.fault_schedule()
+        if schedule is not None:
+            self.fault_engine = FaultEngine(schedule, backend)
         return self
 
     # -- driving -----------------------------------------------------------
-    def _apply_churn(self, slot: int) -> None:
-        churn = self.spec.workload.churn
-        if churn is None:
-            return
-        if not self._offline_applied and slot >= churn.offline_slot:
-            self.backend.take_offline(churn.offline_nodes)
-            self._offline_applied = True
-        if (
-            not self._rejoin_applied
-            and churn.rejoin_slot is not None
-            and slot >= churn.rejoin_slot
-        ):
-            self.backend.bring_online(
-                churn.offline_nodes, forgive=churn.forgive_on_rejoin
-            )
-            self._rejoin_applied = True
-
     def _boundaries_until(self, target: int) -> List[int]:
         """Slots in (next, target] where the runner must pause."""
-        churn = self.spec.workload.churn
         stops = {s for s in self.spec.workload.sample_slots if self._next_slot < s <= target}
-        if churn is not None:
-            for stop in (churn.offline_slot, churn.rejoin_slot):
-                if stop is not None and self._next_slot < stop <= target:
+        if self.fault_engine is not None:
+            for stop in self.fault_engine.boundary_slots:
+                if self._next_slot < stop <= target:
                     stops.add(stop)
         stops.add(target)
         return sorted(stops)
@@ -246,7 +232,8 @@ class ScenarioRunner:
         if slot == self._next_slot:
             return self
         for stop in self._boundaries_until(slot):
-            self._apply_churn(self._next_slot)
+            if self.fault_engine is not None:
+                self.fault_engine.apply_due(self._next_slot)
             if stop > self._next_slot:
                 self.backend.advance_slots(self._next_slot, stop - self._next_slot)
                 self._next_slot = stop

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.experiments.common import ExperimentScale
+from repro.faults.spec import FaultError, FaultScheduleSpec
 from repro.metrics.units import bits_to_mb, mb_to_bits
 
 #: Format marker for serialized specs, bumped on breaking layout changes.
@@ -63,6 +64,13 @@ def known_backend_names() -> Tuple[str, ...]:
     from repro.scenario.backends import backend_names
 
     return tuple(backend_names())
+
+
+def known_fault_capabilities(backend: str) -> Tuple[str, ...]:
+    """The fault kinds ``backend`` supports (lazily imported registry)."""
+    from repro.scenario.backends import backend_fault_capabilities
+
+    return backend_fault_capabilities(backend)
 
 
 @dataclass(frozen=True)
@@ -205,6 +213,13 @@ class ChurnSpec:
     scheduled; when ``rejoin_slot`` is set they come back online before
     that slot, and with ``forgive_on_rejoin`` every node records
     renewed cooperation (§IV-D-6 blacklist forgiveness).
+
+    This is legacy sugar over the fault layer: at run time it compiles
+    to a two-event crash/rejoin
+    :class:`~repro.faults.spec.FaultScheduleSpec` (see
+    :meth:`compile` and :meth:`WorkloadSpec.fault_schedule`), while its
+    serialized form — and therefore every existing spec JSON and
+    campaign cell digest — stays byte-identical.
     """
 
     offline_nodes: Tuple[int, ...] = ()
@@ -225,6 +240,15 @@ class ChurnSpec:
                 f"offline_slot {self.offline_slot}"
             )
 
+    def compile(self) -> FaultScheduleSpec:
+        """The equivalent crash(+rejoin) fault timeline."""
+        return FaultScheduleSpec.from_churn(
+            self.offline_nodes,
+            self.offline_slot,
+            rejoin_slot=self.rejoin_slot,
+            forgive_on_rejoin=self.forgive_on_rejoin,
+        )
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -235,6 +259,12 @@ class WorkloadSpec:
     hand-roll: ``sample_slots`` are the slots at which the runner
     snapshots storage/traffic series, ``run_until_quiet`` drains
     in-flight validations after the last slot.
+
+    ``faults`` declares a full fault timeline
+    (:class:`~repro.faults.spec.FaultScheduleSpec`); ``churn`` is the
+    legacy crash/rejoin shorthand and compiles to one — declare one or
+    the other, not both (:meth:`fault_schedule` resolves whichever is
+    present).
     """
 
     slots: int = 40
@@ -247,6 +277,7 @@ class WorkloadSpec:
     quiet_time: float = 50.0
     sample_slots: Tuple[int, ...] = ()
     churn: Optional[ChurnSpec] = None
+    faults: Optional[FaultScheduleSpec] = None
 
     def __post_init__(self) -> None:
         if self.slots <= 0:
@@ -277,6 +308,11 @@ class WorkloadSpec:
                     f"sample slot {self.sample_slots[-1]} exceeds the "
                     f"{self.slots}-slot workload"
                 )
+        if self.churn is not None and self.faults is not None:
+            raise ScenarioError(
+                "declare either churn (legacy shorthand) or faults (a full "
+                "timeline), not both"
+            )
         if self.churn is not None:
             if self.churn.offline_slot >= self.slots:
                 raise ScenarioError(
@@ -288,6 +324,25 @@ class WorkloadSpec:
                     f"churn rejoin_slot {self.churn.rejoin_slot} is past the "
                     f"{self.slots}-slot workload"
                 )
+        if self.faults is not None and self.faults.max_slot >= self.slots:
+            raise ScenarioError(
+                f"fault event at slot {self.faults.max_slot} is past the "
+                f"{self.slots}-slot workload"
+            )
+
+    def fault_schedule(self) -> Optional[FaultScheduleSpec]:
+        """The effective fault timeline: ``faults``, compiled ``churn``,
+        or ``None`` for a fault-free run."""
+        if self.faults is not None:
+            return self.faults
+        if self.churn is not None:
+            try:
+                return self.churn.compile()
+            except FaultError as error:
+                raise ScenarioError(
+                    f"churn does not compile to a fault schedule: {error}"
+                )
+        return None
 
 
 @dataclass(frozen=True)
@@ -376,11 +431,6 @@ class ScenarioSpec:
                     f"the {self.backend} backend does not support adversaries; "
                     f"remove them or use backend {DEFAULT_BACKEND!r}"
                 )
-            if self.workload.churn is not None:
-                raise ScenarioError(
-                    f"the {self.backend} backend does not support churn; "
-                    f"remove it or use backend {DEFAULT_BACKEND!r}"
-                )
             if self.workload.generation_period != 1:
                 # The baseline adapters hardwire one request/transaction
                 # per node per slot; admitting another period would
@@ -390,7 +440,25 @@ class ScenarioSpec:
                     f"generation_period=1, got "
                     f"{self.workload.generation_period!r}"
                 )
+        schedule = self.workload.fault_schedule()
+        if schedule is not None:
+            capabilities = known_fault_capabilities(self.backend)
+            unsupported = sorted(schedule.kinds - set(capabilities))
+            if unsupported:
+                roster = ", ".join(capabilities) if capabilities else "none"
+                raise ScenarioError(
+                    f"the {self.backend} backend does not support fault "
+                    f"kind(s) {', '.join(unsupported)}; its capabilities: "
+                    f"{roster}"
+                )
         size = self.topology.size
+        if schedule is not None:
+            bad = [n for n in schedule.referenced_nodes if n < 0 or n >= size]
+            if bad:
+                raise ScenarioError(
+                    f"fault event node(s) {bad} are not among the {size} "
+                    f"topology nodes"
+                )
         if self.protocol.gamma + 1 > size:
             raise ScenarioError(
                 f"gamma={self.protocol.gamma} needs a consensus path of "
@@ -456,6 +524,14 @@ class ScenarioSpec:
             payload.pop("scale")
         if self.workload.churn is None:
             payload["workload"].pop("churn")
+        # Fault timelines serialize through their own canonical form
+        # (kind-relevant event fields only); fault-free workloads omit
+        # the key entirely so pre-fault spec JSON — and every campaign
+        # cell digest derived from it — is byte-identical.
+        if self.workload.faults is None:
+            payload["workload"].pop("faults")
+        else:
+            payload["workload"]["faults"] = self.workload.faults.to_dict()
         # Default backend sections are omitted so pre-backend specs (and
         # their campaign cell digests) serialize byte-identically.
         if self.backend == DEFAULT_BACKEND:
@@ -505,6 +581,13 @@ class ScenarioSpec:
         workload_data = dict(data.get("workload", {}))
         churn_data = workload_data.pop("churn", None)
         churn = build(ChurnSpec, churn_data) if churn_data is not None else None
+        faults_data = workload_data.pop("faults", None)
+        faults = None
+        if faults_data is not None:
+            try:
+                faults = FaultScheduleSpec.from_dict(faults_data)
+            except FaultError as error:
+                raise ScenarioError(f"invalid fault schedule: {error}")
         scale_data = data.pop("scale", None)
         scale = None
         if scale_data is not None:
@@ -517,7 +600,7 @@ class ScenarioSpec:
             backend=data.get("backend", DEFAULT_BACKEND),
             protocol=build(ProtocolSpec, data.get("protocol", {})),
             topology=build(TopologySpec, data.get("topology", {})),
-            workload=build(WorkloadSpec, workload_data, churn=churn),
+            workload=build(WorkloadSpec, workload_data, churn=churn, faults=faults),
             adversaries=tuple(
                 build(AdversarySpec, adv) for adv in data.get("adversaries", [])
             ),

@@ -61,6 +61,65 @@ class TestSimulate:
             main(["simulate", "--scenario", "no-such-preset"])
 
 
+class TestFaultInjection:
+    def test_simulate_with_fault_preset(self, capsys):
+        code = main(["simulate", "--scenario", "quickstart",
+                     "--faults", "mid-crash"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "faults applied: 2 event(s)" in out
+        assert "node-crash" in out and "node-rejoin" in out
+
+    def test_simulate_with_fault_file_on_baseline_backend(self, capsys, tmp_path):
+        from repro.faults import build_fault_preset
+
+        path = tmp_path / "faults.json"
+        build_fault_preset("stress", 9, 30).save(path)
+        code = main(["simulate", "--scenario", "quickstart",
+                     "--backend", "pbft", "--faults", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "backend pbft" in out
+        assert "partition" in out
+
+    def test_fault_preset_overrides_spec_churn(self, capsys):
+        code = main(["simulate", "--scenario", "churn",
+                     "--faults", "partition-heal"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "partition" in out and "node-crash" not in out
+
+    def test_unknown_fault_preset_errors(self):
+        with pytest.raises(SystemExit, match="unknown fault preset"):
+            main(["simulate", "--scenario", "quickstart", "--faults", "nope"])
+
+    def test_missing_fault_file_errors(self):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["simulate", "--scenario", "quickstart",
+                  "--faults", "missing/faults.json"])
+
+    def test_validate_reports_declared_timeline(self, capsys, tmp_path):
+        code = main(["scenarios", "show", "fault-demo"])
+        exported = capsys.readouterr().out
+        assert code == 0
+        assert '"faults"' in exported
+        path = tmp_path / "fd.json"
+        path.write_text(exported)
+        assert main(["scenarios", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "declared timeline" in out
+        assert "link-degrade" in out
+
+    def test_validate_reports_compiled_churn(self, capsys, tmp_path):
+        assert main(["scenarios", "show", "churn"]) == 0
+        path = tmp_path / "churn.json"
+        path.write_text(capsys.readouterr().out)
+        assert main(["scenarios", "validate", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "compiled from churn" in out
+        assert "node-rejoin" in out
+
+
 class TestVerify:
     def test_verify_quick(self, capsys):
         code = main(["verify", "--nodes", "9", "--slots", "12",

@@ -129,3 +129,87 @@ class TestLossModels:
             small_deployment.sim.run()
             successes += process.value.success
         assert successes >= 2
+
+
+class TestPartitionRule:
+    def test_cross_group_hops_drop_within_group_pass(self, network):
+        from repro.net.linkmodels import partition_drop_rule
+
+        # Line 0-1-2-3 split as {0,1} | {2,3} (implicit remainder group).
+        rule = partition_drop_rule([(0, 1)])
+        network.add_drop_rule(rule)
+        received = []
+        network.attach(1).on("ping", lambda m: received.append((0, 1)))
+        network.attach(3).on("ping", lambda m: received.append((2, 3)))
+        network.attach(0).send(1, "ping", None, 10)   # within group
+        network.attach(2).send(3, "ping", None, 10)   # within remainder
+        network.attach(0).send(3, "ping", None, 10)   # crosses the cut
+        network.sim.run()
+        assert sorted(received) == [(0, 1), (2, 3)]
+
+    def test_overlapping_groups_rejected(self):
+        from repro.net.linkmodels import partition_drop_rule
+
+        with pytest.raises(ValueError, match="more than one group"):
+            partition_drop_rule([(0, 1), (1, 2)])
+
+    def test_heal_restores_delivery(self, network):
+        from repro.net.linkmodels import partition_drop_rule
+
+        rule = partition_drop_rule([(0, 1)])
+        network.add_drop_rule(rule)
+        network.remove_drop_rule(rule)
+        received = []
+        network.attach(3).on("ping", lambda m: received.append(True))
+        network.attach(0).send(3, "ping", None, 10)
+        network.sim.run()
+        assert received == [True]
+
+    def test_remove_respects_other_rules(self, network):
+        from repro.net.linkmodels import partition_drop_rule
+
+        other = random_loss_rule(1.0)
+        rule = partition_drop_rule([(0,)])
+        network.add_drop_rule(other)
+        network.add_drop_rule(rule)
+        network.remove_drop_rule(rule)
+        received = []
+        network.attach(1).on("ping", lambda m: received.append(True))
+        network.attach(0).send(1, "ping", None, 10)
+        network.sim.run()
+        assert received == []  # the loss rule survived the removal
+
+
+class TestLinkDegradation:
+    def test_latency_delta_applied_and_revoked(self, network):
+        from repro.net.linkmodels import LinkDegradation
+
+        base = network.per_hop_latency
+        degradation = LinkDegradation(network, loss=0.0, extra_latency=0.004)
+        assert network.per_hop_latency == pytest.approx(base + 0.004)
+        degradation.revoke()
+        assert network.per_hop_latency == pytest.approx(base)
+        degradation.revoke()  # idempotent
+        assert network.per_hop_latency == pytest.approx(base)
+
+    def test_full_loss_degradation_drops_everything(self, network):
+        from repro.net.linkmodels import LinkDegradation
+
+        degradation = LinkDegradation(
+            network, loss=1.0, extra_latency=0.0, rng=random.Random(1)
+        )
+        received = []
+        network.attach(1).on("ping", lambda m: received.append(True))
+        network.attach(0).send(1, "ping", None, 10)
+        network.sim.run()
+        assert received == []
+        degradation.revoke()
+        network.attach(0).send(1, "ping", None, 10)
+        network.sim.run()
+        assert received == [True]
+
+    def test_negative_extra_latency_rejected(self, network):
+        from repro.net.linkmodels import LinkDegradation
+
+        with pytest.raises(ValueError, match="non-negative"):
+            LinkDegradation(network, loss=0.0, extra_latency=-1.0)

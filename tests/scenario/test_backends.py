@@ -69,14 +69,60 @@ class TestValidation:
                     adversaries=(AdversarySpec(kind="silent", count=2),),
                 )
 
-    def test_baseline_backends_reject_churn(self):
-        with pytest.raises(ScenarioError, match="does not support churn"):
-            small_spec(
-                backend="pbft",
+    def test_baseline_backends_accept_churn(self):
+        # Churn compiles to a crash/rejoin fault schedule, which every
+        # registered backend declares in its capability roster.
+        for name in ("pbft", "iota"):
+            spec = small_spec(
+                backend=name,
                 workload=WorkloadSpec(
                     slots=6, churn=ChurnSpec(offline_nodes=(1,), offline_slot=2)
                 ),
             )
+            assert spec.workload.fault_schedule() is not None
+
+    def test_unsupported_fault_kind_lists_capability_roster(self):
+        from repro.faults import FaultEvent, FaultScheduleSpec
+        from repro.scenario.backends import _BACKENDS, LedgerBackend, register_backend
+
+        class CrashOnlyBackend(LedgerBackend):
+            name = "crash-only"
+            fault_capabilities = ("node-crash",)
+
+            def build(self):  # pragma: no cover - never driven
+                pass
+
+            def advance_slots(self, start_slot, count):  # pragma: no cover
+                pass
+
+            def finalize(self):  # pragma: no cover
+                pass
+
+            def sample(self):  # pragma: no cover
+                return {}
+
+            def collect(self):  # pragma: no cover
+                return None
+
+            def trace_digest(self):  # pragma: no cover
+                return ""
+
+        register_backend(CrashOnlyBackend)
+        try:
+            faults = FaultScheduleSpec(
+                events=(FaultEvent(kind="partition", slot=2, groups=((0, 1),)),)
+            )
+            with pytest.raises(
+                ScenarioError,
+                match=r"does not support fault kind\(s\) partition; "
+                      r"its capabilities: node-crash",
+            ):
+                small_spec(
+                    backend="crash-only",
+                    workload=WorkloadSpec(slots=6, faults=faults),
+                )
+        finally:
+            _BACKENDS.pop("crash-only", None)
 
     def test_baseline_backends_reject_other_generation_periods(self):
         for period in (2, "random-1-2"):
