@@ -9,6 +9,14 @@ content-addressed on-disk cache, and journals completions so an
 interrupted fleet resumes where it left off.  Serial and parallel runs
 are byte-identical — only wall-clock changes.
 
+The executor is chaos-tolerant: failed attempts retry with
+deterministic seeded backoff, hung cells are killed at a wall-clock
+budget, a crashed worker pool respawns with only the lost cells
+resubmitted, and ``keep_going`` quarantines incurable cells instead of
+aborting the fleet.  A seeded :class:`ChaosSpec` (``$REPRO_CHAOS``)
+injects harness faults on purpose to prove all of that converges to
+byte-identical results — see :mod:`repro.campaign.chaos`.
+
 Entry points: ``python -m repro campaign run/status/clean`` and the
 ``executor=`` parameter every multi-run experiment
 (``fig7``/``fig8``/``fig9``, the sweeps, the attack comparison, the
@@ -19,6 +27,16 @@ from repro.campaign.cache import (
     CACHE_ENV_VAR,
     ResultCache,
     default_cache_dir,
+    payload_digest,
+    summarize_cell_events,
+)
+from repro.campaign.chaos import (
+    CHAOS_ENV_VAR,
+    ChaosError,
+    ChaosInjectedError,
+    ChaosSpec,
+    chaos_from_env,
+    seeded_backoff,
 )
 from repro.campaign.cells import (
     cell_kind_names,
@@ -29,7 +47,9 @@ from repro.campaign.cells import (
 from repro.campaign.executor import (
     CampaignExecutor,
     CampaignResult,
+    CellFailure,
     CellResult,
+    CellStatus,
     run_campaign,
 )
 from repro.campaign.presets import (
@@ -52,23 +72,33 @@ __all__ = [
     "CACHE_ENV_VAR",
     "CAMPAIGN_CODE_VERSION",
     "CAMPAIGN_FORMAT_VERSION",
+    "CHAOS_ENV_VAR",
     "CampaignError",
     "CampaignExecutor",
     "CampaignResult",
     "CampaignSpec",
+    "CellFailure",
     "CellResult",
     "CellSpec",
+    "CellStatus",
+    "ChaosError",
+    "ChaosInjectedError",
+    "ChaosSpec",
     "ResultCache",
     "apply_override",
     "campaign_names",
     "cell_kind_names",
+    "chaos_from_env",
     "default_cache_dir",
     "execute_cell",
     "expand_grid",
     "get_campaign",
+    "payload_digest",
     "register_campaign",
     "register_cell_kind",
     "replicate_seeds",
     "run_campaign",
     "run_scenario_cells",
+    "seeded_backoff",
+    "summarize_cell_events",
 ]

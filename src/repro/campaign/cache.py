@@ -16,13 +16,45 @@ as misses — a killed worker can at worst waste one recompute, never
 poison a result (writes are atomic via
 :func:`~repro.experiments.persistence.atomic_write_text`).
 
-Journals are the resume/status record: one JSON line per event
-(``start``, ``cell``, ``end``).  Appends are single ``write`` calls of
-one line; a torn final line from a crash is skipped on read.
+Journals are the resume/status record: one JSON line per event.
+Appends are single ``write`` calls of one line; a torn final line from
+a crash is skipped on read.  The event schema (see
+``docs/campaigns.md``):
+
+``start``
+    A run began with uncached work: campaign name, cell counts,
+    worker count (plus the active ``chaos`` schedule, if any).
+``cell``
+    One cell computed successfully: index, digest, label, wall time
+    (plus ``attempts`` when retries were consumed).
+``cell-failed``
+    One attempt of one cell failed: ``attempt`` (0-based), ``kind``
+    (``exception`` / ``chaos`` / ``timeout`` / ``worker-crash``) and
+    the error text.
+``cell-retry``
+    A failed cell was rescheduled: the next attempt number and the
+    deterministic backoff applied.
+``cell-quarantined``
+    A cell exhausted its retries under ``--keep-going``: total
+    attempts and the final error.
+``cell-flaky``
+    A recomputed cell's payload digest disagreed with an earlier
+    successful attempt — the determinism cross-check tripped.
+``pool-respawn``
+    The worker pool died (or was killed to stop a hung cell) and was
+    respawned: which in-flight cells were lost / timed out / requeued.
+``end``
+    The run finished: computed count, wall time (plus ``quarantined``
+    when cells were left behind).
+``abort``
+    The run raised out of the executor (fail-fast cell failure,
+    Ctrl-C, …): the reason and wall time.  Every run that journalled a
+    ``start`` terminates with exactly one ``end`` or ``abort``.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
@@ -46,6 +78,52 @@ def default_cache_dir() -> Path:
     """The cache root: ``$REPRO_CACHE_DIR`` or ``./.repro_cache``."""
     override = os.environ.get(CACHE_ENV_VAR)
     return Path(override) if override else Path(DEFAULT_CACHE_DIRNAME)
+
+
+def payload_digest(payload: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical JSON of one cell payload.
+
+    The determinism cross-check currency: two successful computations
+    of the same cell must produce the same payload digest, or the
+    executor flags the cell flaky (``cell-flaky`` journal event).
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def summarize_cell_events(events: List[Dict[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-cell-digest failure history distilled from journal events.
+
+    Returns ``digest -> {failed_attempts, quarantined, flaky,
+    last_error}`` aggregated across every run the journal records (the
+    journal is append-only, so counts are historical totals).  A
+    ``cell`` success event supersedes an earlier quarantine — the
+    rerun-retries-only-failures loop resolved it.
+    """
+    summary: Dict[str, Dict[str, Any]] = {}
+    for event in events:
+        digest = event.get("digest")
+        if not isinstance(digest, str) or not digest:
+            continue
+        record = summary.setdefault(digest, {
+            "failed_attempts": 0,
+            "quarantined": False,
+            "flaky": False,
+            "last_error": "",
+        })
+        kind = event.get("event")
+        if kind == "cell-failed":
+            record["failed_attempts"] += 1
+            record["last_error"] = (
+                f"{event.get('kind', 'exception')}: {event.get('error', '')}"
+            )
+        elif kind == "cell-quarantined":
+            record["quarantined"] = True
+        elif kind == "cell-flaky":
+            record["flaky"] = True
+        elif kind == "cell":
+            record["quarantined"] = False
+    return summary
 
 
 class ResultCache:

@@ -91,6 +91,11 @@ class CellSpec:
         embeds the spec format version) and the campaign code version —
         any change to what the cell would compute, or to how cells are
         computed, yields a different digest and therefore a cache miss.
+
+        Execution knobs are deliberately *excluded*: worker count,
+        caching, retries, timeouts and chaos schedules affect how (and
+        whether) a cell gets computed, never what it computes, so a
+        payload cached under any of them is valid under all of them.
         """
         document = {
             "code_version": CAMPAIGN_CODE_VERSION,

@@ -39,6 +39,7 @@ golden digests.  Examples::
     python -m repro fig7 --body-mb 0.5 --quick
     python -m repro --workers 4 fig9 --panel d --quick
     python -m repro --workers 4 campaign run bench-grid
+    python -m repro campaign run fault-grid --keep-going --cell-timeout 120
     python -m repro campaign status bench-grid
 """
 
@@ -319,7 +320,13 @@ def _load_campaign(value: str):
 
 def cmd_campaign(args) -> int:
     """Run, inspect, or clean a campaign of scenario cells."""
-    from repro.campaign import CampaignError, CampaignExecutor, campaign_names, get_campaign
+    from repro.campaign import (
+        CampaignError,
+        CampaignExecutor,
+        ChaosError,
+        campaign_names,
+        get_campaign,
+    )
 
     if args.action == "list":
         width = max(len(name) for name in campaign_names())
@@ -333,20 +340,36 @@ def cmd_campaign(args) -> int:
         return 0
 
     campaign = _load_campaign(args.spec)
-    executor = CampaignExecutor(
-        workers=getattr(args, "workers", 0) or 0,
-        cache_dir=args.cache_dir,
-        use_cache=not getattr(args, "no_cache", False),
-    )
+    try:
+        # status/clean parsers lack the resilience flags; getattr keeps
+        # one construction path (and $REPRO_CHAOS is resolved here so a
+        # bad schedule fails loudly instead of running chaos-free).
+        executor = CampaignExecutor(
+            workers=getattr(args, "workers", 0) or 0,
+            cache_dir=args.cache_dir,
+            use_cache=not getattr(args, "no_cache", False),
+            retries=getattr(args, "retries", 2),
+            cell_timeout=getattr(args, "cell_timeout", None),
+        )
+    except ChaosError as error:
+        raise SystemExit(f"bad chaos spec: {error}")
 
     if args.action == "status":
-        rows = executor.status(campaign)
-        done = sum(1 for _cell, _digest, cached in rows if cached)
-        for cell, digest, cached in rows:
-            print(f"  {'done   ' if cached else 'pending'}  {cell.label:<40} "
-                  f"{digest[:12]}")
-        print(f"campaign {campaign.name}: {done}/{len(rows)} cells cached "
-              f"({len(rows) - done} to compute)")
+        rows = executor.status_report(campaign)
+        done = sum(1 for row in rows if row.cached)
+        for row in rows:
+            line = f"  {row.state:<11}  {row.cell.label:<40} {row.digest[:12]}"
+            if row.failed_attempts:
+                line += f"  [{row.failed_attempts} failed attempt(s)"
+                if row.flaky:
+                    line += ", FLAKY"
+                line += f": {row.last_error}]" if row.last_error else "]"
+            print(line)
+        quarantined = sum(1 for row in rows if row.quarantined)
+        tail = f"({len(rows) - done} to compute)"
+        if quarantined:
+            tail = f"({len(rows) - done} to compute, {quarantined} quarantined)"
+        print(f"campaign {campaign.name}: {done}/{len(rows)} cells cached {tail}")
         events = executor.cache.read_journal(campaign.digest()) if executor.cache else []
         if events:
             last = events[-1]
@@ -361,16 +384,33 @@ def cmd_campaign(args) -> int:
 
     # run
     try:
-        result = executor.run(campaign, force=getattr(args, "force", False), log=print)
+        result = executor.run(
+            campaign,
+            force=getattr(args, "force", False),
+            log=print,
+            keep_going=getattr(args, "keep_going", False),
+        )
     except CampaignError as error:
         print(f"campaign failed: {error}", file=sys.stderr)
         return 1
     print()
     for cell in result.cells:
+        if cell.quarantined:
+            last = cell.failures[-1].error if cell.failures else ""
+            print(f"  {cell.cell.label:<40} QUARANTINED after {cell.attempts} "
+                  f"attempt(s): {last}")
+            continue
         source = "cached  " if cell.cached else f"{cell.elapsed_s:6.2f}s "
         trace = cell.trace_sha256[:16] or "-"
         print(f"  {cell.cell.label:<40} {source} trace {trace}")
     print(result.summary())
+    if result.quarantined_count:
+        print(
+            f"campaign degraded: {result.quarantined_count} cell(s) quarantined "
+            f"(rerun retries only them)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -606,9 +646,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recompute every cell, overwriting cached entries")
     p_run.add_argument("--no-cache", action="store_true",
                        help="compute without reading or writing the cache")
+    p_run.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="re-attempts per failing cell before the run "
+                            "aborts or quarantines it (default: 2)")
+    p_run.add_argument("--cell-timeout", type=float, default=None, metavar="S",
+                       help="wall-clock budget per cell attempt in seconds; "
+                            "a hung cell is killed and retried (default: none)")
+    p_run.add_argument("--keep-going", action="store_true",
+                       help="quarantine cells that exhaust their retries and "
+                            "complete the rest instead of aborting (exit 1 "
+                            "when any cell was quarantined)")
     p_run.set_defaults(fn=cmd_campaign, action="run")
     p_status = campaign_sub.add_parser(
-        "status", help="per-cell cached/pending report; nothing executes"
+        "status", help="per-cell done/failing/quarantined/pending report; "
+                       "nothing executes"
     )
     campaign_common(p_status)
     p_status.set_defaults(fn=cmd_campaign, action="status")

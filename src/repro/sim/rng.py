@@ -24,6 +24,18 @@ def derive_seed(master_seed: int, name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def derive_unit(master_seed: int, name: str) -> float:
+    """Derive a deterministic unit-interval value in ``[0, 1)``.
+
+    The seeding idiom for infrastructure-level jitter (retry backoff,
+    chaos schedules — see :mod:`repro.campaign.chaos`): like
+    :func:`derive_seed` it is a pure function of its inputs, never of
+    global RNG state, so decisions built on it replay identically
+    across processes and runs.
+    """
+    return derive_seed(master_seed, name) / 2.0**64
+
+
 class RandomStreams:
     """A factory of independent, reproducible :class:`random.Random` streams.
 

@@ -191,6 +191,93 @@ class TestCampaignCommands:
         with pytest.raises(SystemExit):
             main(["campaign", "run", str(path)])
 
+    def test_resilience_flags_parse(self):
+        args = build_parser().parse_args([
+            "campaign", "run", "smoke",
+            "--retries", "1", "--cell-timeout", "30", "--keep-going",
+        ])
+        assert args.retries == 1
+        assert args.cell_timeout == 30.0
+        assert args.keep_going
+        defaults = build_parser().parse_args(["campaign", "run", "smoke"])
+        assert defaults.retries == 2
+        assert defaults.cell_timeout is None
+        assert not defaults.keep_going
+
+
+class TestCampaignResilienceCLI:
+    @pytest.fixture
+    def campaign_file(self, tmp_path):
+        from repro.campaign import CampaignSpec, replicate_seeds
+        from repro.scenario import get_scenario
+
+        campaign = CampaignSpec(
+            name="cli-chaos",
+            cells=replicate_seeds(
+                get_scenario("quickstart").with_workload(slots=5), (0, 1)
+            ),
+        )
+        path = tmp_path / "campaign.json"
+        campaign.save(path)
+        return str(path)
+
+    def chaos_env(self, monkeypatch, **fields):
+        import json
+
+        monkeypatch.setenv("REPRO_CHAOS", json.dumps(fields))
+
+    def test_bad_chaos_spec_exits_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "{nope")
+        with pytest.raises(SystemExit, match="bad chaos spec"):
+            main(["campaign", "run", "smoke", "--no-cache"])
+
+    def test_chaos_with_retries_converges_and_exits_zero(
+        self, capsys, tmp_path, campaign_file, monkeypatch
+    ):
+        assert main(["campaign", "run", campaign_file, "--no-cache"]) == 0
+        clean = [line.split("trace")[-1].strip()
+                 for line in capsys.readouterr().out.splitlines()
+                 if "trace" in line]
+
+        self.chaos_env(monkeypatch, seed=3, exceptions=2)
+        cache = str(tmp_path / "cache")
+        assert main(["--cache-dir", cache, "campaign", "run", campaign_file]) == 0
+        out = capsys.readouterr().out
+        chaotic = [line.split("trace")[-1].strip()
+                   for line in out.splitlines() if "trace" in line]
+        assert chaotic == clean
+        assert "2 computed, 0 cached" in out
+
+    def test_keep_going_quarantines_and_rerun_heals(
+        self, capsys, tmp_path, campaign_file, monkeypatch
+    ):
+        # chaos on every attempt + retries 1: one cell cannot heal
+        self.chaos_env(monkeypatch, seed=3, exceptions=1, max_attempt=99)
+        cache = str(tmp_path / "cache")
+        code = main(["--cache-dir", cache, "campaign", "run", campaign_file,
+                     "--retries", "1", "--keep-going"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "QUARANTINED" in out
+        assert "1 quarantined" in out
+
+        assert main(["--cache-dir", cache, "campaign", "status",
+                     campaign_file]) == 0
+        status = capsys.readouterr().out
+        assert "quarantined" in status
+        assert "failed attempt" in status
+
+        # chaos off: the rerun retries only the quarantined cell
+        monkeypatch.delenv("REPRO_CHAOS")
+        assert main(["--cache-dir", cache, "campaign", "run",
+                     campaign_file]) == 0
+        assert "1 computed, 1 cached" in capsys.readouterr().out
+
+        assert main(["--cache-dir", cache, "campaign", "status",
+                     campaign_file]) == 0
+        status = capsys.readouterr().out
+        assert "2/2 cells cached" in status
+
 
 class TestGlobalCacheDirOnExperiments:
     def test_cache_dir_enables_caching_for_figure_commands(
