@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional
 
-from repro.core.block import BlockHeader, DataBlock
+from repro.core.block import DataBlock
 from repro.core.node import IoTNode, NodeBehavior
 from repro.core.pop.messages import BlockFetch, ReqChild, RpyChild
 from repro.crypto.hashing import hash_bytes

@@ -14,10 +14,9 @@ count.  2LDAG defeats this two ways, both modelled here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.core.block import BlockHeader
-from repro.crypto.hashing import Digest
 from repro.crypto.keys import KeyPair
 from repro.crypto.signature import sign
 

@@ -10,7 +10,7 @@ communication cost Fig. 8 charges IOTA.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional
 
 from repro.baselines.iota.tangle import Tangle, Transaction
 from repro.baselines.iota.tip_selection import select_tips_mcmc, select_tips_uniform

@@ -9,7 +9,7 @@ transaction — drives the weighted tip-selection walk.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.crypto.hashing import Digest, hash_fields
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Tuple
+from typing import List
 
 from repro.baselines.iota.tangle import Tangle
 

@@ -22,7 +22,7 @@ small topologies (``tests/baselines/test_pbft_costmodel.py``).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.baselines.pbft.chain import CHAIN_HEADER_BITS
 from repro.baselines.pbft.messages import CONTROL_BITS

@@ -260,10 +260,12 @@ def _micro_benchmarks(
         topology = sequential_geometric_topology(
             node_count=50, streams=RandomStreams(1)
         )
-        wps_rng = random.Random(0)
+        # Fixed-seed local RNGs: the microbench measures WPS wall time on
+        # a frozen case set, outside any scenario's named streams.
+        wps_rng = random.Random(0)  # repro: allow[unseeded-random]
         node_ids = topology.node_ids
         wps_cases = []
-        case_rng = random.Random(7)
+        case_rng = random.Random(7)  # repro: allow[unseeded-random]
         for _ in range(8 if fast else 32):
             node = case_rng.choice(node_ids)
             candidates = sorted(topology.neighbors(node)) or [node_ids[0]]

@@ -30,6 +30,12 @@ from repro.campaign.cache import (
     payload_digest,
     summarize_cell_events,
 )
+from repro.campaign.cells import (
+    cell_kind_names,
+    execute_cell,
+    register_cell_kind,
+    run_scenario_cells,
+)
 from repro.campaign.chaos import (
     CHAOS_ENV_VAR,
     ChaosError,
@@ -37,12 +43,6 @@ from repro.campaign.chaos import (
     ChaosSpec,
     chaos_from_env,
     seeded_backoff,
-)
-from repro.campaign.cells import (
-    cell_kind_names,
-    execute_cell,
-    register_cell_kind,
-    run_scenario_cells,
 )
 from repro.campaign.executor import (
     CampaignExecutor,

@@ -1,0 +1,73 @@
+"""Static determinism & architecture analysis (``python -m repro lint``).
+
+A small AST rule engine enforcing the tree's architecture invariants at
+diff time — the conventions the chaos harness can only probe
+probabilistically are machine-checked here deterministically:
+
+* all randomness flows through :mod:`repro.sim.rng` named streams
+  (``unseeded-random``);
+* simulation paths never read the wall clock (``wall-clock-in-sim``)
+  or the PYTHONHASHSEED-dependent builtin ``hash()``
+  (``builtin-hash-in-digest``);
+* deployments are built only by the scenario pipeline
+  (``network-outside-scenario``) and ledgers reached only through the
+  backend registry (``backend-bypass``);
+* result files are written crash-atomically (``non-atomic-json-write``);
+* spec dataclasses stay frozen (``unfrozen-spec-dataclass``) and no
+  function shares a mutable default (``mutable-default-arg``).
+
+See ``docs/static-analysis.md`` for the full catalogue, the inline
+``# repro: allow[rule-id]`` suppression pragma and the baseline
+workflow.  The engine lives in :mod:`repro.checks.engine`, the concrete
+rules in :mod:`repro.checks.rules`.
+"""
+
+from repro.checks.baseline import (
+    baseline_document,
+    finding_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.cli import run_lint
+from repro.checks.engine import (
+    ERROR,
+    WARNING,
+    CheckError,
+    CheckReport,
+    Finding,
+    ModuleUnderCheck,
+    Rule,
+    build_rules,
+    check_paths,
+    check_source,
+    get_rule,
+    register_rule,
+    rule_ids,
+)
+from repro.checks.report import render_json, render_rule_list, render_text
+from repro.checks.rules import rule_catalogue
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "CheckError",
+    "CheckReport",
+    "Finding",
+    "ModuleUnderCheck",
+    "Rule",
+    "baseline_document",
+    "build_rules",
+    "check_paths",
+    "check_source",
+    "finding_key",
+    "get_rule",
+    "load_baseline",
+    "register_rule",
+    "render_json",
+    "render_rule_list",
+    "render_text",
+    "rule_catalogue",
+    "rule_ids",
+    "run_lint",
+    "write_baseline",
+]

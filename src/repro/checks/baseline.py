@@ -1,0 +1,86 @@
+"""Committed baselines: grandfather existing findings, gate new ones.
+
+A baseline is a JSON file listing known findings as stable
+``(rule, path, line)`` keys.  ``repro lint --baseline FILE`` subtracts
+them from the report, so a tree with legacy debt can still enforce the
+invariants on every *new* line of code; deleting an entry (or the whole
+file) resurfaces the finding immediately.  ``--write-baseline FILE``
+snapshots the current findings — the workflow for adopting a rule on an
+old tree is: write the baseline, commit it, burn it down entry by
+entry.  This tree ships lint-clean with no baseline at all.
+
+Baselines are written through
+:func:`repro.experiments.persistence.atomic_write_text`, the same
+crash-atomic path the ``non-atomic-json-write`` rule enforces.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Set, Tuple, Union
+
+from repro.checks.engine import CheckError, Finding
+
+#: Format marker for baseline files, bumped on breaking layout changes.
+BASELINE_FORMAT_VERSION = 1
+
+#: The key a finding is grandfathered by.
+BaselineKey = Tuple[str, str, int]
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    """The ``(rule, path, line)`` identity of a finding."""
+    return (finding.rule, finding.path, finding.line)
+
+
+def load_baseline(path: Union[str, Path]) -> Set[BaselineKey]:
+    """Read a baseline file into a set of grandfathered keys."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise CheckError(f"baseline file not found: {path}")
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckError(f"cannot read baseline {path}: {error}")
+    if not isinstance(payload, dict):
+        raise CheckError(f"baseline {path} is not a JSON object")
+    version = payload.get("format_version")
+    if version != BASELINE_FORMAT_VERSION:
+        raise CheckError(
+            f"baseline {path} has unsupported format_version {version!r}"
+        )
+    keys: Set[BaselineKey] = set()
+    for entry in payload.get("findings", []):
+        if not isinstance(entry, dict):
+            raise CheckError(f"baseline {path} has a malformed entry: {entry!r}")
+        try:
+            keys.add((str(entry["rule"]), str(entry["path"]), int(entry["line"])))
+        except (KeyError, TypeError, ValueError):
+            raise CheckError(f"baseline {path} has a malformed entry: {entry!r}")
+    return keys
+
+
+def baseline_document(findings: Sequence[Finding]) -> Dict[str, Any]:
+    """The JSON document grandfathering ``findings``.
+
+    Messages ride along for human review but are not part of the
+    matching key, so rewording a rule never invalidates a baseline.
+    """
+    entries: List[Dict[str, Any]] = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "line": finding.line,
+            "message": finding.message,
+        }
+        for finding in sorted(findings)
+    ]
+    return {"format_version": BASELINE_FORMAT_VERSION, "findings": entries}
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` as a baseline file, atomically."""
+    from repro.experiments.persistence import atomic_write_text
+
+    text = json.dumps(baseline_document(findings), indent=2, sort_keys=True) + "\n"
+    atomic_write_text(path, text)

@@ -536,12 +536,20 @@ def cmd_report(args) -> int:
     )
     markdown = report.to_markdown()
     if args.output:
-        with open(args.output, "w") as handle:
-            handle.write(markdown)
+        from repro.experiments.persistence import atomic_write_text
+
+        atomic_write_text(args.output, markdown)
         print(f"report written to {args.output}")
     else:
         print(markdown)
     return 0
+
+
+def cmd_lint(args) -> int:
+    """Run the static determinism & architecture analyzer."""
+    from repro.checks import run_lint
+
+    return run_lint(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -668,6 +676,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_common(p_clean)
     p_clean.set_defaults(fn=cmd_campaign, action="clean")
+
+    p = sub.add_parser(
+        "lint",
+        help="statically check determinism & architecture invariants "
+             "(see docs/static-analysis.md)",
+    )
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="files or directories to check (default: src)")
+    p.add_argument("--format", choices=("text", "json"), default="text",
+                   help="report format (default: text)")
+    p.add_argument("--baseline", default=None, metavar="FILE",
+                   help="subtract grandfathered findings listed in FILE")
+    p.add_argument("--write-baseline", default=None, metavar="FILE",
+                   help="snapshot current findings to FILE and exit 0")
+    p.add_argument("--select", action="append", default=None, metavar="IDS",
+                   help="run only these rule ids (comma-separated, "
+                        "repeatable)")
+    p.add_argument("--ignore", action="append", default=None, metavar="IDS",
+                   help="skip these rule ids (comma-separated, repeatable)")
+    p.add_argument("--severity", action="append", default=None,
+                   metavar="RULE=LEVEL",
+                   help="override one rule's severity (error|warning; "
+                        "repeatable); only errors fail the gate")
+    p.add_argument("--list", dest="list_rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.add_argument("--verbose", action="store_true",
+                   help="append each offending rule's rationale")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("bench", help="run the performance benchmark harness")
     scenario_arg(p)

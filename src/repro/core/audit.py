@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.core.block import BlockBody, BlockHeader, BlockId, DataBlock
+from repro.core.block import BlockHeader, BlockId, DataBlock
 from repro.crypto.hashing import Digest
 from repro.crypto.merkle import MerkleTree, verify_audit_path
 

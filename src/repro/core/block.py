@@ -16,7 +16,7 @@ generate at irregular times.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional
 
 from repro.core import codec
 from repro.core.config import ProtocolConfig

@@ -14,7 +14,7 @@ node *points to* ``b_x`` if it stores any descendant of ``b_x``.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.block import BlockHeader, BlockId
 from repro.crypto.hashing import Digest

@@ -10,7 +10,7 @@ TPS-ablation benchmarks also use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import Generator, List, Sequence, Tuple
 
 from repro.core.block import BlockId
 from repro.core.pop.validator import PopOutcome, PopValidator

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.block import BlockHeader, DataBlock
+from repro.core.block import DataBlock
 from repro.core.pop.messages import ReqChild, RpyChild
 from repro.core.storage import BlockStore
 from repro.crypto.hashing import Digest

@@ -15,10 +15,9 @@ verify another block that is generated in the past using PoP").
 
 from __future__ import annotations
 
-import math
 from bisect import insort
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.core.block import BlockId
 from repro.core.config import ProtocolConfig

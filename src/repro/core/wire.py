@@ -21,7 +21,7 @@ Format (all integers big-endian):
 from __future__ import annotations
 
 import struct
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.core.block import BlockBody, BlockHeader, DataBlock
 from repro.crypto.hashing import Digest

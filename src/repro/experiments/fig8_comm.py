@@ -19,8 +19,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.baselines.iota.costmodel import IotaCostModel
-from repro.baselines.pbft.costmodel import PbftCostModel
+# Closed-form cost models only — live cluster/tangle objects are
+# reached through repro.scenario.create_backend.
+from repro.baselines.iota.costmodel import IotaCostModel  # repro: allow[backend-bypass]
+from repro.baselines.pbft.costmodel import PbftCostModel  # repro: allow[backend-bypass]
 from repro.campaign.cells import run_scenario_cells
 from repro.experiments.common import ExperimentScale
 from repro.metrics.cdf import EmpiricalCDF

@@ -21,7 +21,7 @@ points run serially in-process exactly as they always have.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.analysis.bounds import prop4_message_lower_bound, prop6_message_upper_bound
 from repro.campaign.cells import register_cell_kind

@@ -8,7 +8,7 @@ from unicode block characters.  No plotting dependencies.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 #: Marker characters assigned to series in order.
 _MARKERS = "ox+*#@%&"

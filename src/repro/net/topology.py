@@ -12,7 +12,7 @@ immutable graph with geometry attached.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import cached_property
 from typing import Dict, FrozenSet, Iterator, List, Sequence, Set, Tuple
 

@@ -200,7 +200,9 @@ class ProtocolSpec:
         return bits_to_mb(self.body_bits)
 
     @classmethod
-    def paper(cls, gamma: int, body_mb: float = 0.5, **overrides) -> "ProtocolSpec":
+    def paper(
+        cls, gamma: int, body_mb: float = 0.5, **overrides: Any
+    ) -> "ProtocolSpec":
         """The §VI settings with ``C`` given in MB."""
         return cls(body_bits=mb_to_bits(body_mb), gamma=gamma, **overrides)
 
@@ -494,7 +496,7 @@ class ScenarioSpec:
         """``|V|`` of the scenario's topology."""
         return self.topology.size
 
-    def with_workload(self, **changes) -> "ScenarioSpec":
+    def with_workload(self, **changes: Any) -> "ScenarioSpec":
         """Copy with workload fields replaced (validation re-runs)."""
         return replace(self, workload=replace(self.workload, **changes))
 
@@ -518,7 +520,7 @@ class ScenarioSpec:
                 return {key: listify(item) for key, item in value.items()}
             return value
 
-        payload = listify(dataclasses.asdict(self))
+        payload: Dict[str, Any] = listify(dataclasses.asdict(self))
         payload["format_version"] = SPEC_FORMAT_VERSION
         if self.scale is None:
             payload.pop("scale")
@@ -560,7 +562,7 @@ class ScenarioSpec:
                 f"unknown scenario field(s): {', '.join(sorted(unknown_top))}"
             )
 
-        def build(cls_, section, **extra):
+        def build(cls_: type, section: Dict[str, Any], **extra: Any) -> Any:
             known = {f.name for f in dataclasses.fields(cls_)}
             unknown = set(section) - known
             if unknown:

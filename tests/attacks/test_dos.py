@@ -1,6 +1,5 @@
 """DoS-flooding attack and the rate-limiter defence (§IV-D-5)."""
 
-import pytest
 
 from repro.attacks.behaviors import DosFlooder
 from repro.attacks.defenses import DigestRateLimiter, RateLimitedBehavior

@@ -12,7 +12,7 @@ from repro.campaign.spec import (
     expand_grid,
     replicate_seeds,
 )
-from repro.scenario import ScenarioSpec, get_scenario
+from repro.scenario import get_scenario
 
 
 @pytest.fixture

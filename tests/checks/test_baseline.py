@@ -1,0 +1,120 @@
+"""Baseline round-trip: grandfather, stay clean, resurface on deletion."""
+
+import json
+
+import pytest
+
+from repro.checks import (
+    CheckError,
+    build_rules,
+    check_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.checks.baseline import BASELINE_FORMAT_VERSION, finding_key
+
+DIRTY = "import random\nx = random.random()\ny = random.random()\n"
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    target = tmp_path / "repro" / "core"
+    target.mkdir(parents=True)
+    (target / "legacy.py").write_text(DIRTY)
+    return tmp_path
+
+
+class TestBaselineRoundTrip:
+    def test_generate_then_rerun_is_clean(self, dirty_tree, tmp_path):
+        first = check_paths([str(dirty_tree)])
+        assert first.error_count == 2
+
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, first.findings)
+
+        second = check_paths(
+            [str(dirty_tree)], baseline=load_baseline(baseline_path)
+        )
+        assert second.findings == []
+        assert second.baselined == 2
+        assert second.error_count == 0
+
+    def test_deleting_an_entry_resurfaces_the_finding(self, dirty_tree, tmp_path):
+        first = check_paths([str(dirty_tree)])
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, first.findings)
+
+        payload = json.loads(baseline_path.read_text())
+        removed = payload["findings"].pop(0)
+        baseline_path.write_text(json.dumps(payload))
+
+        rerun = check_paths([str(dirty_tree)], baseline=load_baseline(baseline_path))
+        assert rerun.baselined == 1
+        assert len(rerun.findings) == 1
+        resurfaced = rerun.findings[0]
+        assert resurfaced.rule == removed["rule"]
+        assert resurfaced.line == removed["line"]
+
+    def test_new_finding_is_not_masked_by_baseline(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "lint-baseline.json"
+        write_baseline(baseline_path, check_paths([str(dirty_tree)]).findings)
+
+        legacy = dirty_tree / "repro" / "core" / "legacy.py"
+        legacy.write_text(DIRTY + "\nimport time\nz = time.time()\n")
+
+        rerun = check_paths([str(dirty_tree)], baseline=load_baseline(baseline_path))
+        assert [f.rule for f in rerun.findings] == ["wall-clock-in-sim"]
+        assert rerun.baselined == 2
+
+    def test_key_is_rule_path_line(self, dirty_tree):
+        finding = check_paths([str(dirty_tree)]).findings[0]
+        assert finding_key(finding) == (finding.rule, finding.path, finding.line)
+
+
+class TestBaselineFileFormat:
+    def test_document_is_versioned_and_sorted(self, dirty_tree, tmp_path):
+        baseline_path = tmp_path / "b.json"
+        write_baseline(baseline_path, check_paths([str(dirty_tree)]).findings)
+        payload = json.loads(baseline_path.read_text())
+        assert payload["format_version"] == BASELINE_FORMAT_VERSION
+        lines = [entry["line"] for entry in payload["findings"]]
+        assert lines == sorted(lines)
+        assert all(
+            set(entry) == {"rule", "path", "line", "message"}
+            for entry in payload["findings"]
+        )
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckError, match="not found"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_malformed_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(CheckError, match="cannot read"):
+            load_baseline(bad)
+
+    def test_wrong_version_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format_version": 99, "findings": []}))
+        with pytest.raises(CheckError, match="format_version"):
+            load_baseline(bad)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"format_version": 1, "findings": [{"rule": "x"}]})
+        )
+        with pytest.raises(CheckError, match="malformed entry"):
+            load_baseline(bad)
+
+    def test_suppressed_findings_never_enter_baselines(self, tmp_path):
+        target = tmp_path / "repro" / "core"
+        target.mkdir(parents=True)
+        (target / "ok.py").write_text(
+            "import random\n"
+            "x = random.Random(0)  # repro: allow[unseeded-random]\n"
+        )
+        report = check_paths([str(tmp_path)], rules=build_rules())
+        assert report.findings == []
+        assert report.suppressed == 1

@@ -1,0 +1,271 @@
+"""Positive and negative cases for every shipped rule."""
+
+from repro.checks import build_rules, check_source
+
+
+def findings_for(source, path="src/repro/core/victim.py", select=None):
+    found, _ = check_source(path, source, build_rules(select=select))
+    return found
+
+
+def rules_fired(source, path="src/repro/core/victim.py"):
+    return [f.rule for f in findings_for(source, path)]
+
+
+class TestUnseededRandom:
+    def test_global_state_draw_fires(self):
+        assert rules_fired("import random\nx = random.random()\n") == [
+            "unseeded-random"
+        ]
+
+    def test_raw_random_construction_fires(self):
+        assert rules_fired("import random\nr = random.Random(7)\n") == [
+            "unseeded-random"
+        ]
+
+    def test_from_import_fires(self):
+        assert rules_fired("from random import randint\nx = randint(0, 9)\n") == [
+            "unseeded-random"
+        ]
+
+    def test_os_urandom_and_uuid4_fire(self):
+        fired = rules_fired(
+            "import os\nimport uuid\nx = os.urandom(8)\ny = uuid.uuid4()\n"
+        )
+        assert fired == ["unseeded-random", "unseeded-random"]
+
+    def test_rng_home_is_exempt(self):
+        assert (
+            rules_fired(
+                "import random\nstream = random.Random(42)\n",
+                path="src/repro/sim/rng.py",
+            )
+            == []
+        )
+
+    def test_stream_method_calls_are_fine(self):
+        assert (
+            rules_fired(
+                "from repro.sim.rng import RandomStreams\n"
+                "rng = RandomStreams(0).get('topology')\n"
+                "x = rng.random()\n"
+            )
+            == []
+        )
+
+
+class TestWallClockInSim:
+    def test_time_time_in_core_fires(self):
+        assert rules_fired("import time\nt = time.time()\n") == ["wall-clock-in-sim"]
+
+    def test_datetime_now_via_from_import_fires(self):
+        assert rules_fired(
+            "from datetime import datetime\nt = datetime.now()\n"
+        ) == ["wall-clock-in-sim"]
+
+    def test_perf_counter_outside_sim_zone_is_fine(self):
+        assert (
+            rules_fired(
+                "import time\nstart = time.perf_counter()\n",
+                path="src/repro/bench/runner.py",
+            )
+            == []
+        )
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert rules_fired("import time\ntime.sleep(0)\n") == []
+
+
+class TestBuiltinHash:
+    def test_hash_call_fires(self):
+        assert rules_fired("key = hash('block')\n") == ["builtin-hash-in-digest"]
+
+    def test_dunder_hash_delegation_is_exempt(self):
+        source = (
+            "class BlockId:\n"
+            "    def __hash__(self):\n"
+            "        return hash(self.value)\n"
+        )
+        assert rules_fired(source) == []
+
+    def test_hashlib_is_fine(self):
+        assert (
+            rules_fired("import hashlib\nd = hashlib.sha256(b'x').hexdigest()\n")
+            == []
+        )
+
+
+class TestNetworkOutsideScenario:
+    SOURCE = (
+        "from repro.core.protocol import TwoLayerDagNetwork\n"
+        "net = TwoLayerDagNetwork(nodes=4)\n"
+    )
+
+    def test_construction_outside_scenario_fires(self):
+        fired = [
+            f
+            for f in findings_for(self.SOURCE, path="src/repro/experiments/x.py")
+            if f.rule == "network-outside-scenario"
+        ]
+        assert len(fired) == 1
+        assert fired[0].line == 2
+
+    def test_scenario_package_is_exempt(self):
+        fired = rules_fired(self.SOURCE, path="src/repro/scenario/backends.py")
+        assert "network-outside-scenario" not in fired
+
+    def test_import_alone_is_not_flagged(self):
+        source = "from repro.core.protocol import TwoLayerDagNetwork\n"
+        assert rules_fired(source, path="src/repro/experiments/x.py") == []
+
+
+class TestBackendBypass:
+    def test_live_cluster_import_fires(self):
+        assert rules_fired(
+            "from repro.baselines.pbft.cluster import PbftCluster\n",
+            path="src/repro/experiments/x.py",
+        ) == ["backend-bypass"]
+
+    def test_live_reexport_from_package_root_fires(self):
+        assert rules_fired(
+            "from repro.baselines import IotaNetwork\n",
+            path="src/repro/experiments/x.py",
+        ) == ["backend-bypass"]
+
+    def test_plain_module_import_fires(self):
+        assert rules_fired(
+            "import repro.baselines.iota.node\n",
+            path="src/repro/experiments/x.py",
+        ) == ["backend-bypass"]
+
+    def test_costmodel_imports_stay_allowed(self):
+        source = (
+            "from repro.baselines.iota.costmodel import IotaCostModel\n"
+            "from repro.baselines.pbft.costmodel import PbftCostModel\n"
+            "from repro.baselines import PbftCostModel as Model\n"
+        )
+        assert rules_fired(source, path="src/repro/experiments/x.py") == []
+
+    def test_baselines_package_itself_is_exempt(self):
+        assert (
+            rules_fired(
+                "from repro.baselines.pbft.replica import PbftReplica\n",
+                path="src/repro/baselines/pbft/cluster.py",
+            )
+            == []
+        )
+
+    def test_backend_registry_module_is_exempt(self):
+        assert (
+            rules_fired(
+                "from repro.baselines.pbft.cluster import PbftCluster\n",
+                path="src/repro/scenario/backends.py",
+            )
+            == []
+        )
+
+
+class TestNonAtomicWrite:
+    def test_truncating_open_fires(self):
+        source = (
+            "import json\n"
+            "with open('out.json', 'w') as fh:\n"
+            "    json.dump({}, fh)\n"
+        )
+        assert rules_fired(source) == ["non-atomic-json-write"]
+
+    def test_mode_keyword_and_x_mode_fire(self):
+        assert rules_fired("fh = open('f', mode='x')\n") == ["non-atomic-json-write"]
+
+    def test_read_and_append_modes_are_fine(self):
+        source = (
+            "a = open('f').read()\n"
+            "b = open('f', 'r')\n"
+            "with open('journal.jsonl', 'a') as fh:\n"
+            "    fh.write('line')\n"
+        )
+        assert rules_fired(source) == []
+
+    def test_atomic_writer_home_is_exempt(self):
+        assert (
+            rules_fired(
+                "fh = open('f', 'w')\n",
+                path="src/repro/experiments/persistence.py",
+            )
+            == []
+        )
+
+
+class TestUnfrozenSpecDataclass:
+    def test_spec_suffix_requires_frozen(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class RetrySpec:\n"
+            "    tries: int = 3\n"
+        )
+        assert rules_fired(source) == ["unfrozen-spec-dataclass"]
+
+    def test_spec_module_requires_frozen_for_any_name(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class Limits:\n"
+            "    cap: int = 1\n"
+        )
+        assert rules_fired(source, path="src/repro/faults/spec.py") == [
+            "unfrozen-spec-dataclass"
+        ]
+
+    def test_frozen_spec_passes(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class RetrySpec:\n"
+            "    tries: int = 3\n"
+        )
+        assert rules_fired(source) == []
+
+    def test_non_dataclass_and_non_spec_are_ignored(self):
+        source = (
+            "from dataclasses import dataclass\n"
+            "class ResultSpec:\n"
+            "    pass\n"
+            "@dataclass\n"
+            "class Accumulator:\n"
+            "    total: int = 0\n"
+        )
+        assert rules_fired(source) == []
+
+
+class TestMutableDefaultArg:
+    def test_literal_defaults_fire(self):
+        fired = rules_fired(
+            "def f(a=[], b={}, c=set()):\n    return a, b, c\n"
+        )
+        assert fired == ["mutable-default-arg"] * 3
+
+    def test_keyword_only_default_fires(self):
+        assert rules_fired("def f(*, hooks=[]):\n    return hooks\n") == [
+            "mutable-default-arg"
+        ]
+
+    def test_immutable_defaults_pass(self):
+        assert (
+            rules_fired("def f(a=(), b=None, c='x', d=0):\n    return a, b, c, d\n")
+            == []
+        )
+
+
+class TestRealTreeFixtures:
+    """The shipped tree's deliberate patterns stay clean."""
+
+    def test_linkmodels_fallback_is_suppressed_not_reported(self):
+        found, suppressed = check_source(
+            "src/repro/net/linkmodels.py",
+            "import random\n"
+            "rng = random.Random(0)  # repro: allow[unseeded-random]\n",
+            build_rules(),
+        )
+        assert found == []
+        assert suppressed == 1

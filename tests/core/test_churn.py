@@ -1,8 +1,7 @@
 """Tests for dynamic join/leave (§VII future work)."""
 
-import pytest
 
-from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
+from repro.core.protocol import SlotSimulation
 
 
 class TestChurn:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.block import BlockId, build_block, make_body
+from repro.core.block import build_block, make_body
 from repro.core.config import ProtocolConfig
 from repro.core.dag import LogicalDag
 from repro.crypto.keys import KeyPair

@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.core.config import ProtocolConfig
-from repro.core.node import IoTNode
 from repro.core.pop.messages import KIND_REQ_CHILD, KIND_RPY_CHILD, ReqChild
 from repro.core.protocol import TwoLayerDagNetwork
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.pop.batch import BatchReport, verify_batch
+from repro.core.pop.batch import verify_batch
 from repro.core.protocol import SlotSimulation
 
 

@@ -1,11 +1,10 @@
 """Unit tests for the PoP validator (Algorithm 3)."""
 
-import pytest
 
 from repro.attacks.behaviors import CorruptResponder, EquivocatingResponder, SilentResponder
 from repro.core.config import ProtocolConfig
 from repro.core.protocol import SlotSimulation, TwoLayerDagNetwork
-from repro.net.topology import explicit_topology, grid_topology
+from repro.net.topology import grid_topology
 
 
 def run_validation(deployment, validator_id, verifier_id, block_id=None, **kwargs):

@@ -4,8 +4,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.block import BlockBody, BlockHeader
-from repro.core.wire import WireError, decode_block, decode_body, decode_header, encode_body, encode_header
-from repro.crypto.hashing import Digest, hash_bytes
+from repro.core.wire import WireError, decode_body, decode_header, encode_body, encode_header
+from repro.crypto.hashing import Digest
 
 
 digest_strategy = st.binary(min_size=32, max_size=32).map(lambda b: Digest(b, 256))

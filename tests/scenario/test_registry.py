@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.experiments.common import ExperimentScale
 from repro.scenario import (
     ScenarioSpec,
     bench_scenario,
@@ -11,7 +12,6 @@ from repro.scenario import (
     get_scenario,
     scenario_names,
 )
-from repro.experiments.common import ExperimentScale
 
 REQUIRED_PRESETS = {
     "quickstart", "headline", "paper-fig7", "paper-fig8", "paper-fig9",

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.sim.errors import StopProcess
-from repro.sim.kernel import Simulator
 from repro.sim.process import Process
 
 
