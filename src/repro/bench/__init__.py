@@ -15,8 +15,19 @@ The macro workload also emits a canonical SHA-256 *trace digest* (see
 :mod:`repro.bench.trace`): optimisations must keep seeded simulations
 bit-identical, and the digest makes "same behaviour, less time"
 checkable in one line.
+
+``python -m repro bench history`` (:mod:`repro.bench.history`) renders
+the trend across every accumulated document — the committed baselines
+plus any ad-hoc runs — one row per op, oldest column first.
 """
 
+from repro.bench.history import (
+    BenchDocument,
+    BenchHistory,
+    discover_history,
+    format_history_table,
+    render_history,
+)
 from repro.bench.runner import (
     BenchResult,
     compare_to_baseline,
@@ -26,9 +37,14 @@ from repro.bench.runner import (
 from repro.bench.trace import slot_simulation_trace_digest
 
 __all__ = [
+    "BenchDocument",
+    "BenchHistory",
     "BenchResult",
     "compare_to_baseline",
     "default_output_name",
+    "discover_history",
+    "format_history_table",
+    "render_history",
     "run_benchmarks",
     "slot_simulation_trace_digest",
 ]

@@ -1,0 +1,212 @@
+"""Trend view over accumulated ``BENCH_<rev>.json`` documents.
+
+Every ``python -m repro bench`` run writes one document; the committed
+baselines live under ``benchmarks/baselines/`` and ad-hoc runs land in
+the working directory.  ``python -m repro bench history`` reads *all*
+of them and renders one row per tracked op with its value in every
+document, oldest first, plus the latest-vs-oldest ratio — so a
+regression shows up as a trend line, not just a single gate failure.
+
+Discovery covers both locations (the baselines directory and the
+repository root); root-level documents are flagged as strays, because
+the durable home for benchmark evidence is ``benchmarks/baselines/``.
+Documents are ordered by file modification time (then name) — bench
+documents deliberately carry no wall-clock timestamp inside, and this
+module is read-side tooling, outside every simulation path.
+
+Micro ops compare on ``ns_per_op``; macro rows (``slot_sim*``) compare
+on wall seconds, mirroring :func:`repro.bench.runner.compare_to_baseline`.
+Fast-scale and full-scale documents measure different workloads, so
+each document column is labelled with its scale and ratios are only
+drawn between documents of the same scale as the newest one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.runner import BASELINE_RELPATH
+
+#: Where documents are searched by default: the committed baselines
+#: directory, then the repository root (strays, warned about).
+BASELINES_DIR = os.path.dirname(BASELINE_RELPATH)
+
+#: Documents look like ``BENCH_<rev>.json``.
+BENCH_PREFIX = "BENCH_"
+
+
+@dataclass
+class BenchDocument:
+    """One parsed ``BENCH_<rev>.json`` plus its provenance."""
+
+    path: str
+    rev: str
+    fast: bool
+    results: Dict[str, dict]
+    mtime: float
+    stray: bool = False
+
+    @property
+    def label(self) -> str:
+        """The column label: the rev, scale-tagged when fast."""
+        return f"{self.rev} (fast)" if self.fast else self.rev
+
+
+@dataclass
+class BenchHistory:
+    """Every discovered document, oldest first, plus discovery notes."""
+
+    documents: List[BenchDocument] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+
+def _is_bench_document(name: str) -> bool:
+    return name.startswith(BENCH_PREFIX) and name.endswith(".json")
+
+
+def _parse_document(path: str, stray: bool) -> Optional[BenchDocument]:
+    try:
+        with open(path) as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(raw, dict) or not isinstance(raw.get("results"), dict):
+        return None
+    return BenchDocument(
+        path=path,
+        rev=str(raw.get("rev", "?")),
+        fast=bool(raw.get("fast")),
+        results=raw["results"],
+        mtime=os.path.getmtime(path),
+        stray=stray,
+    )
+
+
+def discover_history(
+    root: str = ".", extra_paths: Sequence[str] = ()
+) -> BenchHistory:
+    """Find every bench document under ``root``.
+
+    Looks in ``<root>/benchmarks/baselines/`` (the durable home) and
+    ``<root>`` itself (strays from ad-hoc ``bench`` runs, which earn a
+    relocation warning).  ``extra_paths`` adds explicit files, each
+    required to exist.  Documents that fail to parse are skipped with a
+    warning — history must render even next to a torn write.
+    """
+    history = BenchHistory()
+    candidates: List[Tuple[str, bool]] = []
+    baselines = os.path.join(root, BASELINES_DIR)
+    if os.path.isdir(baselines):
+        for name in sorted(os.listdir(baselines)):
+            if _is_bench_document(name):
+                candidates.append((os.path.join(baselines, name), False))
+    for name in sorted(os.listdir(root) if os.path.isdir(root) else ()):
+        if _is_bench_document(name):
+            candidates.append((os.path.join(root, name), True))
+    for raw in extra_paths:
+        if not os.path.isfile(raw):
+            raise FileNotFoundError(f"no such bench document: {raw}")
+        candidates.append((raw, False))
+
+    seen = set()
+    for path, stray in candidates:
+        key = os.path.abspath(path)
+        if key in seen:
+            continue
+        seen.add(key)
+        document = _parse_document(path, stray)
+        if document is None:
+            history.warnings.append(f"skipping unreadable bench document {path}")
+            continue
+        if stray:
+            history.warnings.append(
+                f"stray bench document {path} — move it into "
+                f"{BASELINES_DIR}/ to keep it with the committed baselines"
+            )
+        history.documents.append(document)
+    history.documents.sort(key=lambda d: (d.mtime, d.path))
+    return history
+
+
+def _op_value(result: dict) -> Optional[float]:
+    """The compared quantity of one op row (see module docs)."""
+    metrics = result.get("metrics") or {}
+    if "wall_s" in metrics:
+        value = metrics.get("wall_s")
+    else:
+        value = result.get("ns_per_op")
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        return None
+    return number if number > 0 else None
+
+
+def _format_value(name: str, value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if name.startswith("slot_sim"):
+        return f"{value:.3f}s"
+    if value >= 1e6:
+        return f"{value / 1e6:,.2f}ms"
+    if value >= 1e3:
+        return f"{value / 1e3:,.1f}us"
+    return f"{value:,.0f}ns"
+
+
+def format_history_table(history: BenchHistory) -> str:
+    """One aligned text table: op rows x document columns + trend.
+
+    The ``trend`` column is newest-value / oldest-same-scale-value for
+    each op (>1 is slower); ops missing from either end show ``-``.
+    """
+    from repro.metrics.reporting import format_table
+
+    documents = history.documents
+    if not documents:
+        return "no BENCH_*.json documents found"
+    ops = sorted({name for doc in documents for name in doc.results})
+    newest = documents[-1]
+    comparable = [doc for doc in documents if doc.fast == newest.fast]
+    oldest_same_scale = comparable[0]
+
+    header = ["op"] + [doc.label for doc in documents] + ["trend"]
+    rows: List[List[str]] = []
+    for op in ops:
+        row = [op]
+        for doc in documents:
+            result = doc.results.get(op)
+            value = _op_value(result) if result is not None else None
+            row.append(_format_value(op, value))
+        first = oldest_same_scale.results.get(op)
+        last = newest.results.get(op)
+        first_value = _op_value(first) if first is not None else None
+        last_value = _op_value(last) if last is not None else None
+        if first_value and last_value and oldest_same_scale is not newest:
+            row.append(f"{last_value / first_value:.2f}x")
+        else:
+            row.append("-")
+        rows.append(row)
+    return format_table(header, rows)
+
+
+def render_history(
+    root: str = ".", extra_paths: Sequence[str] = ()
+) -> Tuple[str, List[str]]:
+    """The ``bench history`` report body plus discovery warnings."""
+    history = discover_history(root, extra_paths)
+    lines = [format_history_table(history)]
+    if history.documents:
+        lines.append("")
+        lines.append(
+            f"{len(history.documents)} document(s), oldest first; "
+            f"trend compares {history.documents[-1].label} against the "
+            f"oldest same-scale document (>1.00x is slower)"
+        )
+        for doc in history.documents:
+            marker = "  [stray]" if doc.stray else ""
+            lines.append(f"  {doc.label:<24} {doc.path}{marker}")
+    return "\n".join(lines), history.warnings

@@ -351,7 +351,7 @@ def _slot_sim_result(spec, wall, events, blocks, validations, success_rate,
     )
 
 
-def _run_slot_sim(fast: bool, spec=None, executor=None) -> BenchResult:
+def _run_slot_sim(fast: bool, spec=None, executor=None, telemetry=None) -> BenchResult:
     """The macro workload, timed.
 
     Without an executor the workload runs inline (timing only the slot
@@ -359,6 +359,12 @@ def _run_slot_sim(fast: bool, spec=None, executor=None) -> BenchResult:
     one, the run is submitted as a campaign cell — the worker-side wall
     time additionally covers deployment construction, so compare such
     numbers only against baselines recorded the same way.
+
+    ``telemetry`` (a :class:`~repro.telemetry.events.TelemetryRecorder`)
+    records the run's event stream *inside* the timed region — that is
+    deliberate, so ``bench --telemetry`` measures the instrumentation
+    overhead the docs/observability.md budget (< 1.10x) gates.  It is
+    ignored on the executor-routed path (cells run in worker processes).
     """
     from repro.bench.trace import slot_simulation_trace_digest
     from repro.scenario import ScenarioRunner, bench_scenario
@@ -387,7 +393,7 @@ def _run_slot_sim(fast: bool, spec=None, executor=None) -> BenchResult:
             cached=cell.cached,
         )
 
-    runner = ScenarioRunner(spec).build()
+    runner = ScenarioRunner(spec, telemetry=telemetry).build()
     workload_spec = spec.workload
 
     start = time.perf_counter()
@@ -408,7 +414,7 @@ def _run_slot_sim(fast: bool, spec=None, executor=None) -> BenchResult:
     )
 
 
-def _run_ledger_slot_sim(backend: str, fast: bool) -> BenchResult:
+def _run_ledger_slot_sim(backend: str, fast: bool, telemetry=None) -> BenchResult:
     """A baseline backend's macro workload, timed end to end.
 
     Unlike the 2LDAG macro (which times only slot driving), deployment
@@ -420,7 +426,7 @@ def _run_ledger_slot_sim(backend: str, fast: bool) -> BenchResult:
 
     spec = ledger_bench_scenario(backend, fast=fast)
     start = time.perf_counter()
-    result = ScenarioRunner(spec).run()
+    result = ScenarioRunner(spec, telemetry=telemetry).run()
     wall = time.perf_counter() - start
     bench = _slot_sim_result(
         spec,
@@ -444,6 +450,7 @@ def run_benchmarks(
     log: Callable[[str], None] = lambda _msg: None,
     slot_sim_spec=None,
     executor=None,
+    telemetry_dir: Optional[str] = None,
 ) -> Dict[str, BenchResult]:
     """Run all (or ``only`` the named) benchmarks; returns name -> result.
 
@@ -451,8 +458,19 @@ def run_benchmarks(
     (``python -m repro bench --scenario ...``); the default is the
     registered ``bench-fast`` / ``bench-full`` preset.  ``executor``
     routes the macro workload through the campaign engine (see
-    :func:`_run_slot_sim` for the timing caveat).
+    :func:`_run_slot_sim` for the timing caveat).  ``telemetry_dir``
+    records each macro workload's event stream there, inside the timed
+    region — compare the ``slot_sim`` wall clock against a plain run to
+    measure the instrumentation overhead.
     """
+
+    def _recorder():
+        if telemetry_dir is None:
+            return None
+        from repro.telemetry import TelemetryRecorder
+
+        return TelemetryRecorder(telemetry_dir)
+
     min_round_time = 0.005 if fast else 0.1
     rounds = 2 if fast else 5
     results: Dict[str, BenchResult] = {}
@@ -464,7 +482,8 @@ def run_benchmarks(
         log(f"{name:<26} {result.ns_per_op:>14,.0f} ns/op "
             f"({result.ops_per_sec:>14,.0f} ops/s)")
     if not only or "slot_sim" in only:
-        result = _run_slot_sim(fast, spec=slot_sim_spec, executor=executor)
+        result = _run_slot_sim(fast, spec=slot_sim_spec, executor=executor,
+                               telemetry=_recorder())
         results["slot_sim"] = result
         metrics = result.metrics
         log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "
@@ -474,7 +493,8 @@ def run_benchmarks(
     if not only or "slot_sim_faults" in only:
         from repro.scenario import fault_bench_scenario
 
-        result = _run_slot_sim(fast, spec=fault_bench_scenario(fast))
+        result = _run_slot_sim(fast, spec=fault_bench_scenario(fast),
+                               telemetry=_recorder())
         result.name = "slot_sim_faults"
         result.metrics["faulted"] = True
         results["slot_sim_faults"] = result
@@ -487,7 +507,7 @@ def run_benchmarks(
         name = f"slot_sim_{backend}"
         if only and name not in only:
             continue
-        result = _run_ledger_slot_sim(backend, fast)
+        result = _run_ledger_slot_sim(backend, fast, telemetry=_recorder())
         results[name] = result
         metrics = result.metrics
         log(f"{name:<26} {metrics['wall_s']:.3f} s wall, "

@@ -44,7 +44,9 @@ from repro.campaign.chaos import (
     chaos_from_env,
     seeded_backoff,
 )
+from repro.campaign.dashboard import render_dashboard, write_dashboard
 from repro.campaign.executor import (
+    STATUS_SCHEMA_VERSION,
     CampaignExecutor,
     CampaignResult,
     CellFailure,
@@ -69,6 +71,7 @@ from repro.campaign.spec import (
 )
 
 __all__ = [
+    "STATUS_SCHEMA_VERSION",
     "CACHE_ENV_VAR",
     "CAMPAIGN_CODE_VERSION",
     "CAMPAIGN_FORMAT_VERSION",
@@ -96,9 +99,11 @@ __all__ = [
     "payload_digest",
     "register_campaign",
     "register_cell_kind",
+    "render_dashboard",
     "replicate_seeds",
     "run_campaign",
     "run_scenario_cells",
     "seeded_backoff",
     "summarize_cell_events",
+    "write_dashboard",
 ]

@@ -1,0 +1,284 @@
+"""Self-contained static HTML dashboards for campaigns.
+
+``python -m repro campaign dashboard CAMPAIGN`` renders one HTML file
+— no external scripts, stylesheets or fonts, so it can be archived
+next to the result cache or attached to CI artifacts and opened
+anywhere.  The dashboard is assembled purely from data the campaign
+machinery already persists:
+
+* per-cell standing from
+  :meth:`~repro.campaign.executor.CampaignExecutor.status_report`
+  (done / failing / quarantined / pending, attempts, flakiness);
+* harness-event counts (retries, chaos injections, pool respawns)
+  from the campaign's journal;
+* per-slot storage/traffic series charted as inline SVG from the
+  cached cell payloads of completed scenario cells.
+
+Rendering is deterministic for a given cache/journal state: cells keep
+campaign order, series and legends sort lexicographically, and no
+wall-clock timestamp is stamped into the page.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.executor import CampaignExecutor, CellStatus
+from repro.campaign.spec import CampaignSpec
+
+#: Fixed palette (Okabe-Ito) so series colours are stable run to run.
+_PALETTE = (
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7",
+    "#E69F00", "#56B4E9", "#F0E442", "#000000",
+)
+
+#: The payload series charted, with axis titles.
+_CHARTED_SERIES = (
+    ("storage_mb", "Mean storage per node (MB)"),
+    ("traffic_mbit", "Mean transmit per node (Mbit)"),
+)
+
+_STATE_COLORS = {
+    "done": "#009E73",
+    "pending": "#999999",
+    "failing": "#E69F00",
+    "quarantined": "#D55E00",
+}
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def _svg_line_chart(
+    title: str,
+    lines: Dict[str, List[Tuple[float, float]]],
+    width: int = 640,
+    height: int = 260,
+) -> str:
+    """One inline SVG line chart; ``lines`` maps legend label -> points."""
+    pad_l, pad_r, pad_t, pad_b = 56, 16, 28, 36
+    plot_w, plot_h = width - pad_l - pad_r, height - pad_t - pad_b
+    points = [p for pts in lines.values() for p in pts]
+    if not points:
+        return (
+            f'<svg width="{width}" height="{height}" role="img">'
+            f'<text x="{width // 2}" y="{height // 2}" text-anchor="middle" '
+            f'fill="#777">{_esc(title)}: no completed cells to chart</text></svg>'
+        )
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(0.0, min(ys)), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    def sx(x: float) -> float:
+        return pad_l + (x - x_min) / x_span * plot_w
+
+    def sy(y: float) -> float:
+        return pad_t + plot_h - (y - y_min) / y_span * plot_h
+
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'style="background:#fff">',
+        f'<text x="{pad_l}" y="18" font-size="13" font-weight="bold">'
+        f'{_esc(title)}</text>',
+        f'<line x1="{pad_l}" y1="{pad_t}" x2="{pad_l}" '
+        f'y2="{pad_t + plot_h}" stroke="#333"/>',
+        f'<line x1="{pad_l}" y1="{pad_t + plot_h}" x2="{pad_l + plot_w}" '
+        f'y2="{pad_t + plot_h}" stroke="#333"/>',
+        f'<text x="{pad_l - 6}" y="{pad_t + 4}" text-anchor="end" '
+        f'font-size="11">{_fmt(y_max)}</text>',
+        f'<text x="{pad_l - 6}" y="{pad_t + plot_h + 4}" text-anchor="end" '
+        f'font-size="11">{_fmt(y_min)}</text>',
+        f'<text x="{pad_l}" y="{height - 8}" font-size="11">{_fmt(x_min)}</text>',
+        f'<text x="{pad_l + plot_w}" y="{height - 8}" text-anchor="end" '
+        f'font-size="11">{_fmt(x_max)} (slot)</text>',
+    ]
+    for i, label in enumerate(sorted(lines)):
+        pts = lines[label]
+        if not pts:
+            continue
+        color = _PALETTE[i % len(_PALETTE)]
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in pts:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="2.4" '
+                f'fill="{color}"/>'
+            )
+        legend_y = pad_t + 14 * i
+        parts.append(
+            f'<rect x="{pad_l + plot_w - 150}" y="{legend_y}" width="10" '
+            f'height="10" fill="{color}"/>'
+            f'<text x="{pad_l + plot_w - 136}" y="{legend_y + 9}" '
+            f'font-size="11">{_esc(label)}</text>'
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _journal_counts(events: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    """Harness-event totals out of one campaign journal."""
+    counts = {
+        "completions": 0,
+        "failed_attempts": 0,
+        "retries": 0,
+        "pool_respawns": 0,
+        "quarantined": 0,
+        "flaky": 0,
+        "chaos_runs": 0,
+        "aborts": 0,
+    }
+    for event in events:
+        kind = event.get("event")
+        if kind == "cell":
+            counts["completions"] += 1
+        elif kind == "cell-failed":
+            counts["failed_attempts"] += 1
+        elif kind == "cell-retry":
+            counts["retries"] += 1
+        elif kind == "pool-respawn":
+            counts["pool_respawns"] += 1
+        elif kind == "cell-quarantined":
+            counts["quarantined"] += 1
+        elif kind == "cell-flaky":
+            counts["flaky"] += 1
+        elif kind == "abort":
+            counts["aborts"] += 1
+        elif kind == "start" and event.get("chaos"):
+            counts["chaos_runs"] += 1
+    return counts
+
+
+def _status_table(rows: Sequence[CellStatus]) -> str:
+    cells = [
+        "<table><thead><tr><th>#</th><th>cell</th><th>state</th>"
+        "<th>digest</th><th>failed attempts</th><th>flaky</th>"
+        "<th>last error</th></tr></thead><tbody>"
+    ]
+    for i, row in enumerate(rows):
+        color = _STATE_COLORS.get(row.state, "#333")
+        cells.append(
+            f"<tr><td>{i + 1}</td><td>{_esc(row.cell.label)}</td>"
+            f'<td style="color:{color};font-weight:bold">{_esc(row.state)}</td>'
+            f"<td><code>{_esc(row.digest[:12])}</code></td>"
+            f"<td>{row.failed_attempts}</td>"
+            f"<td>{'yes' if row.flaky else ''}</td>"
+            f"<td>{_esc(row.last_error[:120])}</td></tr>"
+        )
+    cells.append("</tbody></table>")
+    return "".join(cells)
+
+
+def _series_lines(
+    executor: CampaignExecutor,
+    rows: Sequence[CellStatus],
+    series_key: str,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Per-cell (slot, value) lines for one payload series key."""
+    lines: Dict[str, List[Tuple[float, float]]] = {}
+    if executor.cache is None:
+        return lines
+    for row in rows:
+        if not row.cached:
+            continue
+        document = executor.cache.load(row.digest)
+        if document is None:
+            continue
+        payload = document.get("payload", {})
+        slots = payload.get("sample_slots")
+        values = payload.get(series_key)
+        if not isinstance(slots, list) or not isinstance(values, list):
+            continue
+        if len(slots) != len(values) or not slots:
+            continue
+        lines[row.cell.label] = [
+            (float(s), float(v)) for s, v in zip(slots, values)
+        ]
+    return lines
+
+
+def render_dashboard(
+    campaign: CampaignSpec, executor: CampaignExecutor
+) -> str:
+    """The complete dashboard HTML for ``campaign``'s current state."""
+    rows = executor.status_report(campaign)
+    events: List[Dict[str, Any]] = []
+    if executor.cache is not None:
+        events = executor.cache.read_journal(campaign.digest())
+    counts = _journal_counts(events)
+    done = sum(1 for row in rows if row.state == "done")
+
+    badges = "".join(
+        f'<span class="badge"><b>{counts[key]}</b> {label}</span>'
+        for key, label in (
+            ("completions", "journalled completions"),
+            ("failed_attempts", "failed attempts"),
+            ("retries", "retries"),
+            ("pool_respawns", "pool respawns"),
+            ("quarantined", "quarantined"),
+            ("flaky", "flaky"),
+            ("chaos_runs", "chaos runs"),
+            ("aborts", "aborts"),
+        )
+    )
+    charts = "".join(
+        f'<figure>{_svg_line_chart(title, _series_lines(executor, rows, key))}'
+        f"</figure>"
+        for key, title in _CHARTED_SERIES
+    )
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>campaign {_esc(campaign.name)}</title>
+<style>
+body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }}
+h1 {{ font-size: 1.4rem; }} code {{ font-size: 12px; }}
+table {{ border-collapse: collapse; margin: 1rem 0; }}
+th, td {{ border: 1px solid #ccc; padding: 4px 10px; text-align: left; }}
+th {{ background: #f2f2f2; }}
+.badge {{ display: inline-block; background: #f2f2f2; border: 1px solid #ccc;
+  border-radius: 4px; padding: 2px 8px; margin: 2px 6px 2px 0; }}
+figure {{ margin: 1rem 0; border: 1px solid #eee; display: inline-block;
+  padding: 4px; }}
+</style>
+</head>
+<body>
+<h1>Campaign <code>{_esc(campaign.name)}</code></h1>
+<p>{_esc(campaign.description)}</p>
+<p><b>{done}</b> of <b>{len(rows)}</b> cells done ·
+campaign digest <code>{_esc(campaign.digest()[:16])}</code></p>
+<h2>Harness events</h2>
+<p>{badges}</p>
+<h2>Cells</h2>
+{_status_table(rows)}
+<h2>Per-slot series (completed cells)</h2>
+{charts}
+</body>
+</html>
+"""
+
+
+def write_dashboard(
+    campaign: CampaignSpec,
+    executor: CampaignExecutor,
+    path: Union[str, Path],
+) -> Path:
+    """Render and atomically write the dashboard; returns the path."""
+    from repro.experiments.persistence import atomic_write_text
+
+    target = Path(path)
+    atomic_write_text(target, render_dashboard(campaign, executor))
+    return target

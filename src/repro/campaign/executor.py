@@ -89,6 +89,9 @@ FAIL_CHAOS = "chaos"
 FAIL_TIMEOUT = "timeout"
 FAIL_WORKER_CRASH = "worker-crash"
 
+#: Pinned schema version of :meth:`CampaignExecutor.status_document`.
+STATUS_SCHEMA_VERSION = 1
+
 
 def _cell_worker(
     cell_payload: Dict[str, Any], chaos: Optional[Dict[str, Any]] = None
@@ -316,6 +319,13 @@ class CampaignExecutor:
         A :class:`~repro.campaign.chaos.ChaosSpec` of harness faults
         to inject (self-test/CI instrumentation).  Defaults to the
         ``$REPRO_CHAOS`` schedule, or no chaos.
+    telemetry:
+        An optional
+        :class:`~repro.telemetry.campaign.CampaignTelemetry` updated
+        at the same points the journal is written (cache hits,
+        completions, failed attempts, retries, quarantines, pool
+        respawns).  Write-only observation — the executor never reads
+        it back, so cell payloads and digests are unaffected.
     """
 
     def __init__(
@@ -327,6 +337,7 @@ class CampaignExecutor:
         cell_timeout: Optional[float] = None,
         backoff_s: float = 0.05,
         chaos: Optional[ChaosSpec] = None,
+        telemetry=None,
     ) -> None:
         self.workers = max(0, int(workers or 0))
         self.cache: Optional[ResultCache] = (
@@ -336,6 +347,7 @@ class CampaignExecutor:
         self.cell_timeout = float(cell_timeout) if cell_timeout else None
         self.backoff_s = max(0.0, float(backoff_s))
         self.chaos = chaos if chaos is not None else chaos_from_env()
+        self.telemetry = telemetry
 
     # -- execution ---------------------------------------------------------
     def run(
@@ -383,6 +395,8 @@ class CampaignExecutor:
                     elapsed_s=float(document.get("elapsed_s") or 0.0),
                 )
                 emit(f"[{index + 1}/{total}] {cell.label}: cached ({digest[:12]})")
+                if self.telemetry is not None:
+                    self.telemetry.cell_cached(campaign.name)
                 continue
             if document is not None:
                 # force-recompute: the overwritten payload seeds the
@@ -563,6 +577,8 @@ class CampaignExecutor:
                         "respawn": respawns,
                         "lost": sorted(crash_lost),
                     })
+                    if self.telemetry is not None:
+                        self.telemetry.pool_respawned(state.campaign.name)
                     state.emit(
                         f"worker process died; respawning pool and resubmitting "
                         f"{len(crash_lost)} lost cell(s)"
@@ -601,6 +617,8 @@ class CampaignExecutor:
                     "timed_out": sorted(overdue.values()),
                     "requeued": requeued,
                 })
+                if self.telemetry is not None:
+                    self.telemetry.pool_respawned(state.campaign.name)
                 _terminate_pool(pool)
                 pool = ProcessPoolExecutor(max_workers=max_workers)
                 for index in sorted(overdue.values()):
@@ -661,6 +679,8 @@ class CampaignExecutor:
                 f"digest {fresh_digest[:12]} != earlier successful attempt "
                 f"{earlier[:12]}"
             )
+            if self.telemetry is not None:
+                self.telemetry.cell_flaky(state.campaign.name)
         if self.cache is not None:
             self.cache.store(digest, cell, payload, elapsed)
             record = {
@@ -689,6 +709,8 @@ class CampaignExecutor:
             f"[{index + 1}/{state.total}] {cell.label}: "
             f"computed in {elapsed:.2f}s ({digest[:12]}{suffix})"
         )
+        if self.telemetry is not None:
+            self.telemetry.cell_computed(state.campaign.name, elapsed)
 
     def _fail_attempt(
         self,
@@ -724,6 +746,8 @@ class CampaignExecutor:
             f"[{index + 1}/{state.total}] {cell.label}: attempt {attempt + 1} "
             f"failed ({kind}: {error})"
         )
+        if self.telemetry is not None:
+            self.telemetry.attempt_failed(state.campaign.name, kind)
         next_attempt = state.attempts[index]
         if next_attempt <= self.retries:
             delay = seeded_backoff(self.backoff_s, digest, next_attempt)
@@ -734,6 +758,8 @@ class CampaignExecutor:
                 "attempt": next_attempt,
                 "backoff_s": round(delay, 6),
             })
+            if self.telemetry is not None:
+                self.telemetry.retry_scheduled(state.campaign.name)
             return delay
         if state.keep_going:
             self._quarantine(state, index)
@@ -787,6 +813,8 @@ class CampaignExecutor:
             f"[{index + 1}/{state.total}] {cell.label}: QUARANTINED after "
             f"{state.attempts.get(index, 0)} attempt(s) ({last})"
         )
+        if self.telemetry is not None:
+            self.telemetry.cell_quarantined(state.campaign.name)
 
     # -- inspection / maintenance -----------------------------------------
     def status(self, campaign: CampaignSpec) -> List[Tuple[CellSpec, str, bool]]:
@@ -823,6 +851,44 @@ class CampaignExecutor:
                 last_error=str(record.get("last_error", "")),
             ))
         return rows
+
+    def status_document(self, campaign: CampaignSpec) -> Dict[str, Any]:
+        """:meth:`status_report` as a pinned-schema JSON document.
+
+        The machine face of ``campaign status --json``: dashboards and
+        CI consume this instead of screen-scraping the text report.
+        Schema (version :data:`STATUS_SCHEMA_VERSION`; any key addition
+        or semantic change bumps it)::
+
+            {schema, campaign, campaign_digest, total,
+             counts: {done, failing, pending, quarantined},
+             cells: [{index, label, digest, state, cached,
+                      failed_attempts, quarantined, flaky, last_error}]}
+        """
+        rows = self.status_report(campaign)
+        counts = {"done": 0, "failing": 0, "pending": 0, "quarantined": 0}
+        cells = []
+        for index, row in enumerate(rows):
+            counts[row.state] += 1
+            cells.append({
+                "index": index,
+                "label": row.cell.label,
+                "digest": row.digest,
+                "state": row.state,
+                "cached": row.cached,
+                "failed_attempts": row.failed_attempts,
+                "quarantined": row.quarantined,
+                "flaky": row.flaky,
+                "last_error": row.last_error,
+            })
+        return {
+            "schema": STATUS_SCHEMA_VERSION,
+            "campaign": campaign.name,
+            "campaign_digest": campaign.digest(),
+            "total": len(rows),
+            "counts": counts,
+            "cells": cells,
+        }
 
     def clean(self, campaign: CampaignSpec) -> int:
         """Drop the campaign's cached cells and journal; entries removed."""

@@ -424,6 +424,69 @@ class MutableDefaultArgRule(Rule):
         return False
 
 
+@register_rule
+class PrintInLibraryRule(Rule):
+    """Library code returns data or emits telemetry; it never prints."""
+
+    id = "print-in-library"
+    severity = ERROR
+    summary = "bare print() in library code"
+    rationale = (
+        "stdout belongs to the CLI: a print() buried in a runner, backend "
+        "or experiment module corrupts machine-read output (campaign "
+        "digest greps, --json reports, Prometheus expositions) and is "
+        "invisible to campaign workers.  Library code returns data, takes "
+        "a log callback, or emits telemetry events "
+        "(repro.telemetry) — only the CLI front-ends (repro/cli.py, "
+        "repro/checks/cli.py) and code outside the repro package "
+        "(examples, tests) may print."
+    )
+
+    #: The CLI front-ends, the only repro modules that own stdout.
+    CLI_HOMES = ("repro/cli.py", "repro/checks/cli.py")
+
+    @staticmethod
+    def _shadowed_calls(tree: ast.AST) -> set:
+        """Call nodes inside functions that take ``print`` as a parameter
+        (a log callback named print is not the builtin)."""
+        shadowed: set = set()
+        for fn in ast.walk(tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = fn.args
+            names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+            if args.vararg is not None:
+                names.add(args.vararg.arg)
+            if args.kwarg is not None:
+                names.add(args.kwarg.arg)
+            if "print" not in names:
+                continue
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Call):
+                    shadowed.add(id(node))
+        return shadowed
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Finding]:
+        if not module.rel.startswith("repro/"):
+            return
+        if module.in_path(*self.CLI_HOMES):
+            return
+        shadowed = self._shadowed_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if id(node) in shadowed:
+                continue
+            if module.resolve(node.func) != "print":
+                continue
+            yield self.finding(
+                module,
+                node,
+                "print() writes to stdout from library code; return the "
+                "data, take a log callback, or emit a telemetry event",
+            )
+
+
 def rule_catalogue() -> Dict[str, Tuple[str, str, str]]:
     """id -> (severity, summary, rationale) for docs and ``--list``."""
     from repro.checks.engine import get_rule, rule_ids

@@ -16,7 +16,11 @@ Run as ``python -m repro <command>``:
 * ``headline``  — print the abstract's measured ratios;
 * ``report``    — the full markdown reproduction report;
 * ``bench``     — run the performance benchmark harness and write
-  ``BENCH_<rev>.json`` (see ``docs/performance.md``).
+  ``BENCH_<rev>.json`` (see ``docs/performance.md``); ``bench
+  history`` renders the trend across every accumulated document;
+* ``telemetry`` — ``summarize``/``export``/``validate`` the
+  structured per-slot event streams that ``--telemetry DIR`` (or
+  ``$REPRO_TELEMETRY``) records (see ``docs/observability.md``).
 
 Every workload-running subcommand accepts ``--scenario NAME`` (a
 registry preset) or ``--scenario file.json`` (a spec exported with
@@ -41,6 +45,12 @@ golden digests.  Examples::
     python -m repro --workers 4 campaign run bench-grid
     python -m repro campaign run fault-grid --keep-going --cell-timeout 120
     python -m repro campaign status bench-grid
+    python -m repro campaign status fault-grid --json
+    python -m repro campaign dashboard fault-grid --out fault-grid.html
+    python -m repro simulate --scenario fault-demo --telemetry .telemetry
+    python -m repro telemetry summarize .telemetry
+    python -m repro telemetry export .telemetry --out metrics.prom
+    python -m repro bench history
 """
 
 from __future__ import annotations
@@ -219,12 +229,28 @@ def _scale_from_args(args, spec: Optional[ScenarioSpec] = None) -> ExperimentSca
     return ExperimentScale.paper()
 
 
+def _telemetry_dir(args) -> Optional[str]:
+    """The telemetry directory in effect: ``--telemetry`` or the env."""
+    from repro.telemetry import telemetry_dir_from_env
+
+    return getattr(args, "telemetry", None) or telemetry_dir_from_env()
+
+
 def cmd_simulate(args) -> int:
     """Run a scenario's slot workload; print its summary and trace digest."""
     spec = _scenario_spec(args, validate=args.validate, run_until_quiet=True)
-    runner = ScenarioRunner(spec)
+    telemetry = None
+    telemetry_dir = _telemetry_dir(args)
+    if telemetry_dir:
+        from repro.telemetry import TelemetryRecorder
+
+        telemetry = TelemetryRecorder(telemetry_dir)
+    runner = ScenarioRunner(spec, telemetry=telemetry)
     result = runner.run()
     print(result.summary())
+    if telemetry is not None:
+        print(f"telemetry stream: {telemetry.path} "
+              f"({telemetry.records_written} record(s))")
     if runner.fault_engine is not None:
         applied = runner.fault_engine.applied
         print(f"faults applied: {len(applied)} event(s)")
@@ -340,6 +366,14 @@ def cmd_campaign(args) -> int:
         return 0
 
     campaign = _load_campaign(args.spec)
+    telemetry_dir = (
+        _telemetry_dir(args) if args.action in ("run", "dashboard") else None
+    )
+    campaign_telemetry = None
+    if telemetry_dir and args.action == "run":
+        from repro.telemetry.campaign import CampaignTelemetry
+
+        campaign_telemetry = CampaignTelemetry()
     try:
         # status/clean parsers lack the resilience flags; getattr keeps
         # one construction path (and $REPRO_CHAOS is resolved here so a
@@ -350,9 +384,25 @@ def cmd_campaign(args) -> int:
             use_cache=not getattr(args, "no_cache", False),
             retries=getattr(args, "retries", 2),
             cell_timeout=getattr(args, "cell_timeout", None),
+            telemetry=campaign_telemetry,
         )
     except ChaosError as error:
         raise SystemExit(f"bad chaos spec: {error}")
+
+    if args.action == "dashboard":
+        from repro.campaign import write_dashboard
+
+        out = args.out or f"dashboard-{campaign.name}.html"
+        write_dashboard(campaign, executor, out)
+        print(f"dashboard written to {out}")
+        return 0
+
+    if args.action == "status" and getattr(args, "json", False):
+        import json
+
+        document = executor.status_document(campaign)
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
 
     if args.action == "status":
         rows = executor.status_report(campaign)
@@ -404,6 +454,15 @@ def cmd_campaign(args) -> int:
         trace = cell.trace_sha256[:16] or "-"
         print(f"  {cell.cell.label:<40} {source} trace {trace}")
     print(result.summary())
+    if campaign_telemetry is not None:
+        from repro.experiments.persistence import atomic_write_text
+
+        prom_path = os.path.join(
+            telemetry_dir, f"campaign-{campaign.name}.prom"
+        )
+        os.makedirs(telemetry_dir, exist_ok=True)
+        atomic_write_text(prom_path, campaign_telemetry.render())
+        print(f"campaign metrics exposition: {prom_path}")
     if result.quarantined_count:
         print(
             f"campaign degraded: {result.quarantined_count} cell(s) quarantined "
@@ -493,6 +552,7 @@ def cmd_bench(args) -> int:
         fast=fast, only=args.only or None, log=print,
         slot_sim_spec=slot_sim_spec,
         executor=_executor_from_args(args, use_cache=False),
+        telemetry_dir=getattr(args, "telemetry", None),
     )
     document = bench_runner.results_to_json(results, fast=fast)
     out_path = args.out or bench_runner.default_output_name(document["rev"])
@@ -522,6 +582,90 @@ def cmd_bench(args) -> int:
         print(f"  {name:<26} {ratio:6.2f}x  {marker}")
         regressed = regressed or is_regression
     return 3 if regressed else 0
+
+
+def cmd_bench_history(args) -> int:
+    """Render the perf trend across accumulated BENCH_*.json documents."""
+    from repro.bench.history import render_history
+
+    try:
+        body, warnings = render_history(args.root, args.paths)
+    except FileNotFoundError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    print(body)
+    return 0
+
+
+def _telemetry_paths(args) -> List[str]:
+    """The stream paths a telemetry subcommand should read."""
+    if args.paths:
+        return list(args.paths)
+    fallback = _telemetry_dir(args)
+    if fallback:
+        return [fallback]
+    raise SystemExit(
+        "no telemetry paths given and $REPRO_TELEMETRY is unset; "
+        "pass stream files or a telemetry directory"
+    )
+
+
+def cmd_telemetry(args) -> int:
+    """Summarize, export, or validate per-slot telemetry event streams."""
+    from repro.telemetry import (
+        TelemetryError,
+        discover_streams,
+        export_prometheus,
+        format_summary_table,
+        summarize_streams,
+        validate_stream,
+    )
+
+    paths = _telemetry_paths(args)
+    if args.action == "validate":
+        try:
+            streams = discover_streams(paths)
+        except TelemetryError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        errors: List[str] = []
+        records = 0
+        for stream in streams:
+            text = stream.read_text()
+            errors.extend(validate_stream(text, source=str(stream)))
+            records += sum(1 for line in text.splitlines() if line.strip())
+        for message in errors:
+            print(message, file=sys.stderr)
+        if errors:
+            print(f"INVALID: {len(errors)} schema violation(s) across "
+                  f"{len(streams)} stream(s)", file=sys.stderr)
+            return 1
+        print(f"OK: {len(streams)} stream(s), {records} record(s), "
+              f"all fit the pinned schema")
+        return 0
+    try:
+        if args.action == "export":
+            exposition = export_prometheus(paths)
+            if args.out:
+                from repro.experiments.persistence import atomic_write_text
+
+                atomic_write_text(args.out, exposition)
+                print(f"exposition written to {args.out}")
+            else:
+                sys.stdout.write(exposition)
+            return 0
+        # summarize
+        summaries = summarize_streams(paths)
+        if not summaries:
+            print("no telemetry streams found", file=sys.stderr)
+            return 1
+        print(format_summary_table(summaries))
+        return 0
+    except TelemetryError as error:
+        print(str(error), file=sys.stderr)
+        return 2
 
 
 def cmd_report(args) -> int:
@@ -582,6 +726,14 @@ def build_parser() -> argparse.ArgumentParser:
                             f"({', '.join(backend_names())}; default: "
                             "the spec's own backend)")
 
+    def telemetry_arg(p):
+        p.add_argument("--telemetry", default=None, metavar="DIR",
+                       help="record a structured per-slot telemetry event "
+                            "stream under DIR (also via $REPRO_TELEMETRY; "
+                            "see docs/observability.md) — a pure "
+                            "observation: trace digests are byte-identical "
+                            "with telemetry on or off")
+
     def common(p):
         scenario_arg(p)
         backend_arg(p)
@@ -600,6 +752,7 @@ def build_parser() -> argparse.ArgumentParser:
                         f"a preset ({', '.join(fault_preset_names())}), "
                         "scaled to the scenario; overrides the spec's own "
                         "faults/churn (see docs/faults.md)")
+    telemetry_arg(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("verify", help="verify one block via PoP")
@@ -664,18 +817,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="quarantine cells that exhaust their retries and "
                             "complete the rest instead of aborting (exit 1 "
                             "when any cell was quarantined)")
+    telemetry_arg(p_run)
     p_run.set_defaults(fn=cmd_campaign, action="run")
     p_status = campaign_sub.add_parser(
         "status", help="per-cell done/failing/quarantined/pending report; "
                        "nothing executes"
     )
     campaign_common(p_status)
+    p_status.add_argument("--json", action="store_true",
+                          help="emit the pinned-schema status document "
+                               "instead of the text report (see "
+                               "docs/observability.md)")
     p_status.set_defaults(fn=cmd_campaign, action="status")
     p_clean = campaign_sub.add_parser(
         "clean", help="drop the campaign's cached cells and journal"
     )
     campaign_common(p_clean)
     p_clean.set_defaults(fn=cmd_campaign, action="clean")
+    p_dash = campaign_sub.add_parser(
+        "dashboard",
+        help="write a self-contained static HTML dashboard of the "
+             "campaign's cells, harness events and per-slot series",
+    )
+    campaign_common(p_dash)
+    p_dash.add_argument("--out", default=None, metavar="FILE",
+                        help="output HTML path "
+                             "(default: dashboard-<campaign>.html)")
+    p_dash.set_defaults(fn=cmd_campaign, action="dashboard")
 
     p = sub.add_parser(
         "lint",
@@ -718,7 +886,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the regression check against the baseline")
     p.add_argument("--only", action="append", default=[],
                    help="run only the named op (repeatable)")
+    p.add_argument("--telemetry", default=None, metavar="DIR",
+                   help="record per-slot telemetry streams for the macro "
+                        "ops under DIR (explicit flag only — the env var "
+                        "is ignored here so ambient telemetry can never "
+                        "skew bench timings)")
     p.set_defaults(fn=cmd_bench)
+    bench_sub = p.add_subparsers(dest="bench_action", required=False)
+    p_hist = bench_sub.add_parser(
+        "history",
+        help="trend table across every accumulated BENCH_<rev>.json "
+             "(committed baselines plus ad-hoc runs)",
+    )
+    p_hist.add_argument("--root", default=".",
+                        help="repository root to scan (default: .)")
+    p_hist.add_argument("paths", nargs="*", metavar="BENCH_JSON",
+                        help="extra bench documents to include explicitly")
+    p_hist.set_defaults(fn=cmd_bench_history)
+
+    p = sub.add_parser(
+        "telemetry",
+        help="summarize, export or validate recorded telemetry streams",
+    )
+    telemetry_sub = p.add_subparsers(dest="action", required=True)
+    p_tsum = telemetry_sub.add_parser(
+        "summarize", help="per-run summary table over one or more streams"
+    )
+    p_tsum.add_argument("paths", nargs="*", metavar="PATH",
+                        help="stream files or directories "
+                             "(default: $REPRO_TELEMETRY)")
+    p_tsum.set_defaults(fn=cmd_telemetry, action="summarize")
+    p_texp = telemetry_sub.add_parser(
+        "export", help="render streams as Prometheus text exposition"
+    )
+    p_texp.add_argument("paths", nargs="*", metavar="PATH",
+                        help="stream files or directories "
+                             "(default: $REPRO_TELEMETRY)")
+    p_texp.add_argument("--out", default=None, metavar="FILE",
+                        help="write the exposition to FILE instead of stdout")
+    p_texp.set_defaults(fn=cmd_telemetry, action="export")
+    p_tval = telemetry_sub.add_parser(
+        "validate", help="check every record against the pinned schema"
+    )
+    p_tval.add_argument("paths", nargs="*", metavar="PATH",
+                        help="stream files or directories "
+                             "(default: $REPRO_TELEMETRY)")
+    p_tval.set_defaults(fn=cmd_telemetry, action="validate")
 
     for name, fn in (("fig7", cmd_fig7), ("fig8", cmd_fig8),
                      ("fig9", cmd_fig9), ("headline", cmd_headline),

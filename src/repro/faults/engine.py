@@ -13,9 +13,12 @@ ChurnSpec → schedule compilation trace-identical.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.faults.spec import FaultError, FaultEvent, FaultScheduleSpec
+
+#: Called after each applied event with (event, slot it fired before).
+FaultObserver = Callable[[FaultEvent, int], None]
 
 
 class FaultCapabilityError(FaultError):
@@ -37,13 +40,25 @@ class FaultCapabilityError(FaultError):
 
 
 class FaultEngine:
-    """Apply a :class:`FaultScheduleSpec` to a backend at slot boundaries."""
+    """Apply a :class:`FaultScheduleSpec` to a backend at slot boundaries.
 
-    def __init__(self, schedule: FaultScheduleSpec, backend) -> None:
+    ``observer`` is an optional pure-observation callback fired *after*
+    each event is applied (the telemetry layer's hook); it must not
+    touch simulation state — the engine's behaviour is identical with
+    or without one.
+    """
+
+    def __init__(
+        self,
+        schedule: FaultScheduleSpec,
+        backend,
+        observer: Optional[FaultObserver] = None,
+    ) -> None:
         self.schedule = schedule
         self.backend = backend
         self.applied: List[FaultEvent] = []
         self._position = 0
+        self._observer = observer
 
     @property
     def boundary_slots(self) -> Tuple[int, ...]:
@@ -67,3 +82,5 @@ class FaultEngine:
             self.backend.apply_fault(event)
             self.applied.append(event)
             self._position += 1
+            if self._observer is not None:
+                self._observer(event, slot)

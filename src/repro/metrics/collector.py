@@ -57,6 +57,14 @@ class TrafficLedger:
         """End-to-end messages recorded under ``kind``."""
         return self._messages.get(kind, 0)
 
+    def message_counts(self) -> Dict[str, int]:
+        """All end-to-end message counts, keyed by kind, sorted (a copy).
+
+        The telemetry layer snapshots this per slot record; handing out
+        a fresh dict keeps the ledger's own accounting unaliased.
+        """
+        return {kind: self._messages[kind] for kind in sorted(self._messages)}
+
     def categories(self) -> List[str]:
         """All categories seen so far, sorted."""
         seen = set()

@@ -254,6 +254,21 @@ class LedgerBackend(ABC):
     def trace_digest(self) -> str:
         """Hex SHA-256 over everything observable about the run."""
 
+    # -- telemetry (pure observation) ---------------------------------------
+    def telemetry_counters(self) -> Dict[str, float]:
+        """Backend-specific monotonic counters for telemetry records.
+
+        Implementations must be *pure reads* of existing state — no
+        lazy materialization, no RNG draws, no event scheduling — which
+        is what keeps telemetry-enabled runs byte-identical to disabled
+        ones (the determinism no-op contract, CI-gated).
+        """
+        return {}
+
+    def current_time(self) -> float:
+        """The backend's simulated clock right now (pure read)."""
+        return 0.0
+
 
 #: name -> backend class.
 _BACKENDS: Dict[str, Type[LedgerBackend]] = {}
@@ -423,6 +438,25 @@ class TwoLayerDagBackend(LedgerBackend):
 
         return slot_simulation_trace_digest(self.workload)
 
+    def telemetry_counters(self) -> Dict[str, float]:
+        from repro.core.pop.messages import KIND_REQ_CHILD, KIND_RPY_CHILD
+
+        workload, deployment = self.workload, self.deployment
+        return {
+            "blocks": float(workload.total_blocks()),
+            "validations": float(len(workload.validations)),
+            "pop_batches": float(
+                deployment.traffic.message_count(KIND_REQ_CHILD)
+            ),
+            "pop_replies": float(
+                deployment.traffic.message_count(KIND_RPY_CHILD)
+            ),
+            "events": float(deployment.sim.processed_count),
+        }
+
+    def current_time(self) -> float:
+        return float(self.deployment.sim.now)
+
     # -- faults ------------------------------------------------------------
     # (the crash/rejoin bodies are the original churn hooks verbatim,
     # which is what keeps compiled ChurnSpec traces byte-identical)
@@ -551,6 +585,18 @@ class PbftBackend(LedgerBackend):
         lines.append(f"now {cluster.sim.now!r}")
         return _digest_lines(lines)
 
+    def telemetry_counters(self) -> Dict[str, float]:
+        cluster = self.cluster
+        return {
+            "consensus_rounds": float(
+                max(r.chain.height for r in self._reference_replicas())
+            ),
+            "events": float(cluster.sim.processed_count),
+        }
+
+    def current_time(self) -> float:
+        return float(self.cluster.sim.now)
+
 
 @register_backend
 class IotaBackend(LedgerBackend):
@@ -649,3 +695,15 @@ class IotaBackend(LedgerBackend):
         lines.append(f"events {network.sim.processed_count}")
         lines.append(f"now {network.sim.now!r}")
         return _digest_lines(lines)
+
+    def telemetry_counters(self) -> Dict[str, float]:
+        network = self.network
+        return {
+            "tangle_size": float(
+                max(len(node.tangle) for node in network.nodes.values())
+            ),
+            "events": float(network.sim.processed_count),
+        }
+
+    def current_time(self) -> float:
+        return float(self.network.sim.now)

@@ -170,7 +170,7 @@ class ScenarioRunner:
     backends.
     """
 
-    def __init__(self, spec: ScenarioSpec) -> None:
+    def __init__(self, spec: ScenarioSpec, telemetry=None) -> None:
         self.spec = spec
         self.backend: Optional[LedgerBackend] = None
         self.deployment = None
@@ -179,6 +179,12 @@ class ScenarioRunner:
         self.behaviors: Dict[int, object] = {}
         self.sybil_identities: List[object] = []
         self.fault_engine: Optional[FaultEngine] = None
+        #: Optional :class:`~repro.telemetry.events.TelemetryRecorder`.
+        #: Strictly write-only observation: every value handed to it is
+        #: a pure read the runner performs anyway (or an extra pure
+        #: read), and it never changes which slot boundaries are driven
+        #: — so traces are byte-identical with telemetry on or off.
+        self.telemetry = telemetry
         self._next_slot = 0
         self._sampled: Dict[int, Dict[str, float]] = {}
 
@@ -197,7 +203,13 @@ class ScenarioRunner:
         self.sybil_identities = getattr(backend, "sybil_identities", [])
         schedule = self.spec.workload.fault_schedule()
         if schedule is not None:
-            self.fault_engine = FaultEngine(schedule, backend)
+            observer = (
+                self.telemetry.fault_applied
+                if self.telemetry is not None else None
+            )
+            self.fault_engine = FaultEngine(schedule, backend, observer=observer)
+        if self.telemetry is not None:
+            self.telemetry.run_started(self.spec)
         return self
 
     # -- driving -----------------------------------------------------------
@@ -234,11 +246,28 @@ class ScenarioRunner:
         for stop in self._boundaries_until(slot):
             if self.fault_engine is not None:
                 self.fault_engine.apply_due(self._next_slot)
-            if stop > self._next_slot:
-                self.backend.advance_slots(self._next_slot, stop - self._next_slot)
+            advanced = stop - self._next_slot
+            if advanced > 0:
+                self.backend.advance_slots(self._next_slot, advanced)
                 self._next_slot = stop
             if stop in self.spec.workload.sample_slots:
                 self._sampled[stop] = self.backend.sample()
+            if self.telemetry is not None and advanced > 0:
+                # Boundary-granular by design: emitting per individual
+                # slot would change the chunking some backends observe
+                # (PBFT settles per driven chunk) and break the
+                # telemetry-off byte-identity contract.  Every read
+                # below is pure.
+                series = self._sampled.get(stop)
+                if series is None:
+                    series = self.backend.sample()
+                self.telemetry.slot_advanced(
+                    slot=stop,
+                    slots_covered=advanced,
+                    sim_now=self.backend.current_time(),
+                    series=series,
+                    counters=self.backend.telemetry_counters(),
+                )
         return self
 
     def finish(self) -> ScenarioResult:
@@ -260,7 +289,7 @@ class ScenarioRunner:
             for key in SERIES_KEYS
         }
         metrics = self.backend.collect()
-        return ScenarioResult(
+        result = ScenarioResult(
             spec=self.spec,
             sample_slots=sample_slots,
             total_blocks=metrics.total_blocks,
@@ -276,12 +305,23 @@ class ScenarioRunner:
             sim_now=metrics.sim_now,
             trace_sha256=self.backend.trace_digest(),
         )
+        if self.telemetry is not None:
+            self.telemetry.run_finished(
+                slot=workload_spec.slots,
+                sim_now=result.sim_now,
+                blocks=result.total_blocks,
+                validations=result.validations,
+                success_rate=result.success_rate,
+                events=result.events,
+                trace_sha256=result.trace_sha256,
+            )
+        return result
 
     def run(self) -> ScenarioResult:
         """``build()`` + drive the whole workload + ``finish()``."""
         return self.finish()
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, telemetry=None) -> ScenarioResult:
     """One-shot convenience: run ``spec`` and return its result."""
-    return ScenarioRunner(spec).run()
+    return ScenarioRunner(spec, telemetry=telemetry).run()

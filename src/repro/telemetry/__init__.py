@@ -1,0 +1,85 @@
+"""Opt-in observability: metrics registry + structured event streams.
+
+Two halves, both dependency-free and deterministic:
+
+* :mod:`repro.telemetry.metrics` — a process-local
+  :class:`MetricsRegistry` of Counter/Gauge/Histogram families with
+  labels and byte-stable Prometheus text exposition.
+* :mod:`repro.telemetry.events` — the :class:`TelemetryRecorder`
+  emitting each run's pinned-schema per-slot JSONL stream, plus the
+  validators CI uses; :mod:`repro.telemetry.summarize` is the read
+  side (tables + exposition for ``python -m repro telemetry ...``).
+
+Telemetry is strictly write-only observation: enabling it never feeds
+back into simulation decisions, so seeded trace digests and campaign
+cell digests are byte-identical with telemetry on or off (CI-gated).
+See docs/observability.md.
+"""
+
+from repro.telemetry.events import (
+    EVENT_KINDS,
+    FAULT,
+    RUN_END,
+    RUN_START,
+    SCHEMA_VERSION,
+    SLOT,
+    SLOT_SERIES_KEYS,
+    TELEMETRY_ENV_VAR,
+    TelemetryError,
+    TelemetryRecorder,
+    discover_streams,
+    parse_stream,
+    stream_filename,
+    telemetry_dir_from_env,
+    validate_record,
+    validate_stream,
+)
+from repro.telemetry.metrics import (
+    COUNTER,
+    DEFAULT_BUCKETS,
+    GAUGE,
+    HISTOGRAM,
+    Metric,
+    MetricsError,
+    MetricsRegistry,
+)
+from repro.telemetry.summarize import (
+    export_prometheus,
+    format_summary_table,
+    read_streams,
+    registry_from_records,
+    summarize_records,
+    summarize_streams,
+)
+
+__all__ = [
+    "COUNTER",
+    "DEFAULT_BUCKETS",
+    "EVENT_KINDS",
+    "FAULT",
+    "GAUGE",
+    "HISTOGRAM",
+    "Metric",
+    "MetricsError",
+    "MetricsRegistry",
+    "RUN_END",
+    "RUN_START",
+    "SCHEMA_VERSION",
+    "SLOT",
+    "SLOT_SERIES_KEYS",
+    "TELEMETRY_ENV_VAR",
+    "TelemetryError",
+    "TelemetryRecorder",
+    "discover_streams",
+    "export_prometheus",
+    "format_summary_table",
+    "parse_stream",
+    "read_streams",
+    "registry_from_records",
+    "stream_filename",
+    "summarize_records",
+    "summarize_streams",
+    "telemetry_dir_from_env",
+    "validate_record",
+    "validate_stream",
+]

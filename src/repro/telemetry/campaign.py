@@ -1,0 +1,96 @@
+"""Metrics instrumentation for the campaign executor.
+
+A :class:`CampaignTelemetry` bundles the metric families the
+:class:`~repro.campaign.executor.CampaignExecutor` updates while it
+runs — cell outcomes, failed attempts by kind, retries, pool respawns,
+flaky detections and a per-cell wall-clock histogram — and renders
+them as a Prometheus text exposition (``campaign-<name>.prom`` under
+the telemetry directory when ``--telemetry`` is on).
+
+Like every telemetry surface, this is write-only observation: the
+executor's control flow never reads the registry, so cell payloads and
+campaign cell digests are byte-identical with or without it.  Cell
+wall-clock *is* recorded here (the executor is harness infrastructure,
+outside the simulated clock), which is exactly why elapsed seconds
+live only in telemetry artifacts and journals, never in payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+
+#: Cell outcome label values on ``repro_campaign_cells_total``.
+OUTCOME_CACHED = "cached"
+OUTCOME_COMPUTED = "computed"
+OUTCOME_QUARANTINED = "quarantined"
+
+#: Bucket bounds for per-cell wall clock (seconds).
+CELL_SECONDS_BUCKETS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0)
+
+
+class CampaignTelemetry:
+    """The campaign executor's metric families over one registry."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._cells = self.registry.counter(
+            "repro_campaign_cells_total",
+            "Cell outcomes (cached / computed / quarantined)",
+            ("campaign", "outcome"),
+        )
+        self._failures = self.registry.counter(
+            "repro_campaign_attempt_failures_total",
+            "Failed cell attempts by failure kind",
+            ("campaign", "kind"),
+        )
+        self._retries = self.registry.counter(
+            "repro_campaign_retries_total",
+            "Retries scheduled after failed attempts",
+            ("campaign",),
+        )
+        self._respawns = self.registry.counter(
+            "repro_campaign_pool_respawns_total",
+            "Worker pool respawns (crashes and timeout kills)",
+            ("campaign",),
+        )
+        self._flaky = self.registry.counter(
+            "repro_campaign_flaky_cells_total",
+            "Cells whose recomputed payload digest mismatched",
+            ("campaign",),
+        )
+        self._seconds = self.registry.histogram(
+            "repro_campaign_cell_seconds",
+            "Wall-clock seconds per computed cell",
+            ("campaign",),
+            buckets=CELL_SECONDS_BUCKETS,
+        )
+
+    # -- executor hooks ------------------------------------------------------
+    def cell_cached(self, campaign: str) -> None:
+        self._cells.inc(campaign=campaign, outcome=OUTCOME_CACHED)
+
+    def cell_computed(self, campaign: str, elapsed_s: float) -> None:
+        self._cells.inc(campaign=campaign, outcome=OUTCOME_COMPUTED)
+        self._seconds.observe(elapsed_s, campaign=campaign)
+
+    def cell_quarantined(self, campaign: str) -> None:
+        self._cells.inc(campaign=campaign, outcome=OUTCOME_QUARANTINED)
+
+    def cell_flaky(self, campaign: str) -> None:
+        self._flaky.inc(campaign=campaign)
+
+    def attempt_failed(self, campaign: str, kind: str) -> None:
+        self._failures.inc(campaign=campaign, kind=kind)
+
+    def retry_scheduled(self, campaign: str) -> None:
+        self._retries.inc(campaign=campaign)
+
+    def pool_respawned(self, campaign: str) -> None:
+        self._respawns.inc(campaign=campaign)
+
+    # -- export --------------------------------------------------------------
+    def render(self) -> str:
+        """The Prometheus text exposition of everything recorded."""
+        return self.registry.render_prometheus()

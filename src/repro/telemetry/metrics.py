@@ -1,0 +1,297 @@
+"""Process-local metrics: Counter / Gauge / Histogram with labels.
+
+A :class:`MetricsRegistry` owns a flat namespace of named metrics, each
+optionally split by a fixed tuple of label names.  The design follows
+the Prometheus client idiom — ``registry.counter(...)`` declares (or
+returns) a metric family, ``family.labels(backend="pbft")`` addresses
+one child, children accumulate — but stays dependency-free and
+deterministic: no background threads, no wall-clock timestamps, and
+:meth:`MetricsRegistry.render_prometheus` emits families and children
+in sorted order so two identical runs render byte-identical text.
+
+The registry is *observability* state: nothing in the simulation may
+read it back into decisions, so populating it can never perturb seeded
+trace digests.  Exposition follows the Prometheus text format
+(``# HELP`` / ``# TYPE`` then one sample line per child), which is what
+``python -m repro telemetry export`` and the campaign executor's
+``metrics.prom`` artifact serve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Metric family types, matching the Prometheus text exposition names.
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Default histogram bucket upper bounds (seconds-flavoured, like the
+#: Prometheus client default, but usable for any unit).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+#: One rendered sample: (metric name, label pairs, value).
+Sample = Tuple[str, Tuple[Tuple[str, str], ...], float]
+
+
+class MetricsError(ValueError):
+    """A metric was declared or addressed inconsistently."""
+
+
+_NAME_OK = frozenset(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_:"
+)
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0].isdigit() or not set(name) <= _NAME_OK:
+        raise MetricsError(
+            f"invalid metric name {name!r}: use [a-zA-Z_:][a-zA-Z0-9_:]*"
+        )
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number rendering (integers without the dot)."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    """``{a="x",b="y"}`` (empty string for an unlabelled child)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in labels
+    )
+    return "{" + inner + "}"
+
+
+class _Child:
+    """One (label-value-addressed) time series of a metric family."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _HistogramChild:
+    """Bucketed observations plus running sum/count."""
+
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, bucket_count: int) -> None:
+        self.bucket_counts = [0] * bucket_count
+        self.total = 0.0
+        self.count = 0
+
+
+class Metric:
+    """One metric family: a name, a type, and label-addressed children."""
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help_text
+        self.type = metric_type
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            _check_name(label)
+        if metric_type == HISTOGRAM:
+            bounds = [float(b) for b in buckets]
+            if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise MetricsError(
+                    f"histogram {name!r} buckets must be strictly increasing"
+                )
+            self.buckets: Tuple[float, ...] = tuple(bounds)
+        else:
+            self.buckets = ()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    # -- addressing --------------------------------------------------------
+    def _key(self, labels: Mapping[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise MetricsError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.labelnames)}, got {sorted(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _child(self, labels: Mapping[str, str]):
+        key = self._key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = (
+                _HistogramChild(len(self.buckets))
+                if self.type == HISTOGRAM else _Child()
+            )
+            self._children[key] = child
+        return child
+
+    # -- writing -----------------------------------------------------------
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (counters insist it is non-negative)."""
+        if self.type == HISTOGRAM:
+            raise MetricsError(f"histogram {self.name!r} takes observe(), not inc()")
+        if self.type == COUNTER and amount < 0:
+            raise MetricsError(f"counter {self.name!r} cannot decrease")
+        self._child(labels).value += amount
+
+    def set(self, value: float, **labels: str) -> None:
+        """Overwrite the current value (gauges only)."""
+        if self.type != GAUGE:
+            raise MetricsError(f"{self.type} {self.name!r} cannot be set()")
+        self._child(labels).value = float(value)
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Record one observation (histograms only)."""
+        if self.type != HISTOGRAM:
+            raise MetricsError(f"{self.type} {self.name!r} cannot observe()")
+        child = self._child(labels)
+        child.total += value
+        child.count += 1
+        # Per-bucket storage; samples() cumulates once at render time.
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                child.bucket_counts[i] += 1
+                break
+
+    # -- reading -----------------------------------------------------------
+    def value(self, **labels: str) -> float:
+        """The current value of one counter/gauge child (0.0 if unseen)."""
+        if self.type == HISTOGRAM:
+            raise MetricsError(f"histogram {self.name!r} has no scalar value")
+        child = self._children.get(self._key(labels))
+        return child.value if child is not None else 0.0
+
+    def samples(self) -> Iterator[Sample]:
+        """Every rendered sample of this family, in sorted child order."""
+        for key in sorted(self._children):
+            labels = tuple(zip(self.labelnames, key))
+            child = self._children[key]
+            if self.type == HISTOGRAM:
+                assert isinstance(child, _HistogramChild)
+                cumulative = 0
+                for bound, count in zip(self.buckets, child.bucket_counts):
+                    cumulative += count
+                    yield (
+                        f"{self.name}_bucket",
+                        labels + (("le", _format_value(bound)),),
+                        float(cumulative),
+                    )
+                yield (
+                    f"{self.name}_bucket",
+                    labels + (("le", "+Inf"),),
+                    float(child.count),
+                )
+                yield f"{self.name}_sum", labels, child.total
+                yield f"{self.name}_count", labels, float(child.count)
+            else:
+                assert isinstance(child, _Child)
+                yield self.name, labels, child.value
+
+
+class MetricsRegistry:
+    """A flat, deterministic namespace of metric families."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _declare(
+        self,
+        name: str,
+        help_text: str,
+        metric_type: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if (
+                existing.type != metric_type
+                or existing.labelnames != tuple(labelnames)
+            ):
+                raise MetricsError(
+                    f"metric {name!r} re-declared with a different "
+                    f"type/label set (was {existing.type} "
+                    f"{list(existing.labelnames)})"
+                )
+            return existing
+        metric = Metric(name, help_text, metric_type, labelnames, buckets)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Metric:
+        """Declare (or fetch) a monotonically increasing counter."""
+        return self._declare(name, help_text, COUNTER, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Metric:
+        """Declare (or fetch) a settable gauge."""
+        return self._declare(name, help_text, GAUGE, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Metric:
+        """Declare (or fetch) a bucketed histogram."""
+        return self._declare(name, help_text, HISTOGRAM, labelnames, buckets)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """The named family, or ``None``."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All declared family names, sorted."""
+        return sorted(self._metrics)
+
+    def collect(self) -> List[Sample]:
+        """Every sample of every family, in deterministic order."""
+        samples: List[Sample] = []
+        for name in self.names():
+            samples.extend(self._metrics[name].samples())
+        return samples
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition of the whole registry.
+
+        Families render in name order and children in label order, so
+        the output is a pure function of the recorded values — two
+        identical runs produce byte-identical expositions.
+        """
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.type}")
+            for sample_name, labels, value in metric.samples():
+                lines.append(
+                    f"{sample_name}{render_labels(labels)} "
+                    f"{_format_value(value)}"
+                )
+        return "\n".join(lines) + ("\n" if lines else "")

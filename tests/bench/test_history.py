@@ -1,0 +1,143 @@
+"""bench history: discovery, stray warnings, trend rendering."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench import discover_history, format_history_table, render_history
+
+
+def write_doc(path, rev, fast=False, results=None, mtime=None):
+    document = {
+        "rev": rev,
+        "fast": fast,
+        "results": results if results is not None else {
+            "kernel_callbacks": {"ns_per_op": 1000.0},
+            "slot_sim": {"ns_per_op": None,
+                         "metrics": {"wall_s": 1.5, "events_per_s": 1e5}},
+        },
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document))
+    if mtime is not None:
+        os.utime(path, (mtime, mtime))
+    return path
+
+
+class TestDiscovery:
+    def test_baselines_then_strays_oldest_first(self, tmp_path):
+        baselines = tmp_path / "benchmarks" / "baselines"
+        write_doc(baselines / "BENCH_old.json", "old", mtime=1000)
+        write_doc(baselines / "BENCH_new.json", "new", mtime=3000)
+        write_doc(tmp_path / "BENCH_stray.json", "stray", mtime=2000)
+
+        history = discover_history(str(tmp_path))
+        assert [d.rev for d in history.documents] == ["old", "stray", "new"]
+        assert [d.stray for d in history.documents] == [False, True, False]
+        assert len(history.warnings) == 1
+        assert "stray bench document" in history.warnings[0]
+        assert "benchmarks/baselines" in history.warnings[0]
+
+    def test_unreadable_document_warns_and_continues(self, tmp_path):
+        baselines = tmp_path / "benchmarks" / "baselines"
+        write_doc(baselines / "BENCH_good.json", "good")
+        (baselines / "BENCH_torn.json").write_text("{torn")
+        (baselines / "BENCH_list.json").write_text("[]")
+
+        history = discover_history(str(tmp_path))
+        assert [d.rev for d in history.documents] == ["good"]
+        assert len(history.warnings) == 2
+        assert all("unreadable" in w for w in history.warnings)
+
+    def test_extra_paths_must_exist(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no such bench document"):
+            discover_history(str(tmp_path), [str(tmp_path / "BENCH_x.json")])
+
+    def test_extra_path_not_double_counted(self, tmp_path):
+        baselines = tmp_path / "benchmarks" / "baselines"
+        doc = write_doc(baselines / "BENCH_a.json", "a")
+        history = discover_history(str(tmp_path), [str(doc)])
+        assert len(history.documents) == 1
+
+    def test_fast_documents_are_labelled(self, tmp_path):
+        write_doc(tmp_path / "benchmarks" / "baselines" / "BENCH_f.json",
+                  "f", fast=True)
+        history = discover_history(str(tmp_path))
+        assert history.documents[0].label == "f (fast)"
+
+
+class TestTable:
+    def test_empty_history_renders_a_notice(self, tmp_path):
+        history = discover_history(str(tmp_path / "nowhere"))
+        assert "no BENCH_" in format_history_table(history)
+
+    def test_trend_is_newest_over_oldest_same_scale(self, tmp_path):
+        baselines = tmp_path / "benchmarks" / "baselines"
+        write_doc(baselines / "BENCH_a.json", "a", mtime=1000, results={
+            "kernel_callbacks": {"ns_per_op": 1000.0},
+            "slot_sim": {"metrics": {"wall_s": 1.0}},
+        })
+        write_doc(baselines / "BENCH_b.json", "b", mtime=2000, results={
+            "kernel_callbacks": {"ns_per_op": 2000.0},
+            "slot_sim": {"metrics": {"wall_s": 1.5}},
+        })
+        table = format_history_table(discover_history(str(tmp_path)))
+        lines = {line.split("|")[0].strip(): line
+                 for line in table.splitlines()}
+        assert "2.00x" in lines["kernel_callbacks"]
+        assert "1.50x" in lines["slot_sim"]
+        # macro rows render seconds; micro rows render time-per-op units
+        assert "1.500s" in lines["slot_sim"]
+        assert "2.0us" in lines["kernel_callbacks"]
+
+    def test_trend_skips_other_scale_documents(self, tmp_path):
+        baselines = tmp_path / "benchmarks" / "baselines"
+        write_doc(baselines / "BENCH_full.json", "full", mtime=1000, results={
+            "kernel_callbacks": {"ns_per_op": 1000.0},
+        })
+        write_doc(baselines / "BENCH_quick.json", "quick", fast=True,
+                  mtime=2000, results={
+                      "kernel_callbacks": {"ns_per_op": 10.0},
+                  })
+        table = format_history_table(discover_history(str(tmp_path)))
+        row = [l for l in table.splitlines()
+               if l.startswith("kernel_callbacks")][0]
+        # the newest document is fast-scale and is the only one at that
+        # scale, so no cross-scale ratio is drawn
+        assert row.rstrip().endswith("-")
+
+    def test_single_document_has_no_trend(self, tmp_path):
+        write_doc(tmp_path / "benchmarks" / "baselines" / "BENCH_a.json", "a")
+        table = format_history_table(discover_history(str(tmp_path)))
+        row = [l for l in table.splitlines()
+               if l.startswith("kernel_callbacks")][0]
+        assert row.rstrip().endswith("-")
+
+    def test_missing_op_renders_dash(self, tmp_path):
+        baselines = tmp_path / "benchmarks" / "baselines"
+        write_doc(baselines / "BENCH_a.json", "a", mtime=1000,
+                  results={"only_here": {"ns_per_op": 5.0}})
+        write_doc(baselines / "BENCH_b.json", "b", mtime=2000,
+                  results={"other": {"ns_per_op": 5.0}})
+        table = format_history_table(discover_history(str(tmp_path)))
+        assert "only_here" in table and "other" in table
+        assert "-" in table
+
+
+class TestRenderHistory:
+    def test_report_lists_documents_and_marks_strays(self, tmp_path):
+        write_doc(tmp_path / "benchmarks" / "baselines" / "BENCH_a.json",
+                  "a", mtime=1000)
+        write_doc(tmp_path / "BENCH_b.json", "b", mtime=2000)
+        body, warnings = render_history(str(tmp_path))
+        assert "2 document(s), oldest first" in body
+        assert "[stray]" in body
+        assert len(warnings) == 1
+
+    def test_shipped_baselines_render(self):
+        """The committed tree itself provides >= 2 documents."""
+        body, warnings = render_history(".")
+        assert "document(s), oldest first" in body
+        assert "slot_sim" in body
+        assert warnings == []

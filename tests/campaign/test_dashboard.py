@@ -1,0 +1,90 @@
+"""Campaign dashboard rendering and the pinned status document."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    STATUS_SCHEMA_VERSION,
+    CampaignExecutor,
+    CampaignSpec,
+    render_dashboard,
+    replicate_seeds,
+    write_dashboard,
+)
+from repro.scenario import get_scenario
+
+
+def tiny_spec():
+    return get_scenario("ledger-comparison").with_workload(
+        slots=8, validation_min_age_slots=4
+    )
+
+
+@pytest.fixture
+def campaign():
+    return CampaignSpec(name="dash", cells=replicate_seeds(tiny_spec(), (0, 1)))
+
+
+class TestRenderDashboard:
+    def test_pending_campaign_renders_placeholder_charts(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        page = render_dashboard(campaign, executor)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "no completed cells to chart" in page
+        assert page.count("pending") >= 2
+
+    def test_completed_campaign_charts_series(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        executor.run(campaign)
+        page = render_dashboard(campaign, executor)
+        assert "<polyline" in page
+        assert "Mean storage per node (MB)" in page
+        assert "done" in page
+        # self-contained: no external fetches of any kind
+        assert "http://" not in page and "https://" not in page
+        assert "<script" not in page
+
+    def test_render_is_deterministic_for_a_cache_state(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        executor.run(campaign)
+        assert render_dashboard(campaign, executor) == render_dashboard(
+            campaign, executor
+        )
+
+    def test_write_dashboard_is_atomic_and_returns_path(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        target = tmp_path / "out" / "dash.html"
+        target.parent.mkdir()
+        written = write_dashboard(campaign, executor, target)
+        assert written == target
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestStatusDocument:
+    def test_schema_and_counts(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        document = executor.status_document(campaign)
+        assert document["schema"] == STATUS_SCHEMA_VERSION
+        assert document["campaign"] == "dash"
+        assert document["campaign_digest"] == campaign.digest()
+        assert document["total"] == 2
+        assert document["counts"] == {
+            "done": 0, "failing": 0, "pending": 2, "quarantined": 0
+        }
+        assert [cell["index"] for cell in document["cells"]] == [0, 1]
+        assert all(cell["state"] == "pending" for cell in document["cells"])
+
+    def test_counts_track_completion(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        executor.run(campaign)
+        document = executor.status_document(campaign)
+        assert document["counts"]["done"] == 2
+        assert all(cell["cached"] for cell in document["cells"])
+
+    def test_document_is_json_serialisable(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        round_tripped = json.loads(
+            json.dumps(executor.status_document(campaign), sort_keys=True)
+        )
+        assert round_tripped["total"] == 2

@@ -123,13 +123,14 @@ class TestResolution:
 
 
 class TestRuleConfiguration:
-    def test_all_eight_rules_registered(self):
+    def test_all_nine_rules_registered(self):
         assert set(rule_ids()) == {
             "backend-bypass",
             "builtin-hash-in-digest",
             "mutable-default-arg",
             "network-outside-scenario",
             "non-atomic-json-write",
+            "print-in-library",
             "unfrozen-spec-dataclass",
             "unseeded-random",
             "wall-clock-in-sim",

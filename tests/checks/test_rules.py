@@ -257,6 +257,44 @@ class TestMutableDefaultArg:
         )
 
 
+class TestPrintInLibrary:
+    def test_bare_print_fires(self):
+        assert rules_fired("print('debugging')\n") == ["print-in-library"]
+
+    def test_print_in_function_fires(self):
+        source = (
+            "def run():\n"
+            "    print('progress', 3)\n"
+        )
+        assert rules_fired(source, path="src/repro/campaign/executor.py") == [
+            "print-in-library"
+        ]
+
+    def test_cli_homes_are_exempt(self):
+        assert rules_fired("print('usage')\n", path="src/repro/cli.py") == []
+        assert (
+            rules_fired("print('lint')\n", path="src/repro/checks/cli.py") == []
+        )
+
+    def test_log_callback_and_shadowed_print_pass(self):
+        source = (
+            "def run(log):\n"
+            "    log('progress')\n"
+            "def other(print):\n"
+            "    print('not the builtin')\n"
+        )
+        assert rules_fired(source) == []
+
+    def test_pragma_suppresses(self):
+        found, suppressed = check_source(
+            "src/repro/core/victim.py",
+            "print('meant it')  # repro: allow[print-in-library]\n",
+            build_rules(),
+        )
+        assert found == []
+        assert suppressed == 1
+
+
 class TestRealTreeFixtures:
     """The shipped tree's deliberate patterns stay clean."""
 

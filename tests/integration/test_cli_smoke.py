@@ -189,6 +189,108 @@ class TestFigures:
         assert "## Headline claims" in text
 
 
+class TestTelemetryCLI:
+    def test_simulate_records_a_validated_stream(self, capsys, tmp_path):
+        telemetry_dir = tmp_path / "tel"
+        code = main(["simulate", "--scenario", "quickstart",
+                     "--telemetry", str(telemetry_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry stream:" in out
+        streams = list(telemetry_dir.glob("*.jsonl"))
+        assert len(streams) == 1
+
+        assert main(["telemetry", "validate", str(telemetry_dir)]) == 0
+        assert "OK:" in capsys.readouterr().out
+
+        assert main(["telemetry", "summarize", str(telemetry_dir)]) == 0
+        table = capsys.readouterr().out
+        assert "quickstart" in table and "2ldag" in table
+
+        assert main(["telemetry", "export", str(telemetry_dir)]) == 0
+        exposition = capsys.readouterr().out
+        assert "# TYPE repro_run_blocks_total counter" in exposition
+
+    def test_env_var_enables_telemetry(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", str(tmp_path / "tel"))
+        assert main(["simulate", "--scenario", "quickstart"]) == 0
+        assert "telemetry stream:" in capsys.readouterr().out
+        assert main(["telemetry", "validate"]) == 0
+
+    def test_validate_flags_schema_violations(self, capsys, tmp_path):
+        (tmp_path / "bad.jsonl").write_text('{"v": 1, "event": "nope"}\n')
+        code = main(["telemetry", "validate", str(tmp_path)])
+        assert code == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_missing_paths_without_env_exit(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        with pytest.raises(SystemExit, match="REPRO_TELEMETRY"):
+            main(["telemetry", "summarize"])
+
+    def test_export_to_file(self, capsys, tmp_path):
+        telemetry_dir = tmp_path / "tel"
+        assert main(["simulate", "--scenario", "quickstart",
+                     "--telemetry", str(telemetry_dir)]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "metrics.prom"
+        assert main(["telemetry", "export", str(telemetry_dir),
+                     "--out", str(out_path)]) == 0
+        assert "repro_run_slots" in out_path.read_text()
+
+
+class TestCampaignObservability:
+    def test_status_json_is_the_pinned_document(self, capsys, tmp_path):
+        code = main(["campaign", "status", "fault-grid", "--json",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == 1
+        assert document["campaign"] == "fault-grid"
+        assert document["total"] == len(document["cells"])
+        assert set(document["counts"]) == {
+            "done", "failing", "pending", "quarantined"
+        }
+
+    def test_dashboard_writes_self_contained_html(self, capsys, tmp_path):
+        out_path = tmp_path / "dash.html"
+        code = main(["campaign", "dashboard", "fault-grid",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out_path)])
+        assert code == 0
+        assert "dashboard written to" in capsys.readouterr().out
+        page = out_path.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "fault-grid" in page and "<script" not in page
+
+
+class TestBenchHistory:
+    def test_history_renders_trend_over_committed_baselines(self, capsys):
+        code = main(["bench", "history"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trend" in out
+        assert "slot_sim" in out
+        assert "document(s), oldest first" in out
+
+    def test_history_warns_about_strays(self, capsys, tmp_path, monkeypatch):
+        stray = tmp_path / "BENCH_stray.json"
+        stray.write_text(json.dumps({
+            "rev": "stray", "fast": True,
+            "results": {"kernel_callbacks": {"ns_per_op": 5.0}},
+        }))
+        code = main(["bench", "history", "--root", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "stray bench document" in captured.err
+        assert "[stray]" in captured.out
+
+    def test_history_missing_explicit_path_exits_2(self, capsys, tmp_path):
+        code = main(["bench", "history", str(tmp_path / "BENCH_no.json")])
+        assert code == 2
+        assert "no such bench document" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_single_op(self, capsys, tmp_path, monkeypatch):
         monkeypatch.chdir(tmp_path)

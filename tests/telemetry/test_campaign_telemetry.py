@@ -1,0 +1,71 @@
+"""CampaignTelemetry: executor hooks land in the right families."""
+
+from repro.campaign import CampaignExecutor, CampaignSpec, replicate_seeds
+from repro.scenario import get_scenario
+from repro.telemetry.campaign import CampaignTelemetry
+
+
+class TestHooks:
+    def test_hooks_accumulate(self):
+        telemetry = CampaignTelemetry()
+        telemetry.cell_cached("g")
+        telemetry.cell_computed("g", 0.3)
+        telemetry.cell_computed("g", 7.0)
+        telemetry.cell_quarantined("g")
+        telemetry.cell_flaky("g")
+        telemetry.attempt_failed("g", "timeout")
+        telemetry.attempt_failed("g", "timeout")
+        telemetry.retry_scheduled("g")
+        telemetry.pool_respawned("g")
+        registry = telemetry.registry
+        cells = registry.get("repro_campaign_cells_total")
+        assert cells.value(campaign="g", outcome="cached") == 1
+        assert cells.value(campaign="g", outcome="computed") == 2
+        assert cells.value(campaign="g", outcome="quarantined") == 1
+        assert registry.get("repro_campaign_attempt_failures_total").value(
+            campaign="g", kind="timeout"
+        ) == 2
+        assert registry.get("repro_campaign_retries_total").value(campaign="g") == 1
+        assert registry.get("repro_campaign_pool_respawns_total").value(
+            campaign="g"
+        ) == 1
+        assert registry.get("repro_campaign_flaky_cells_total").value(
+            campaign="g"
+        ) == 1
+
+    def test_render_exposes_histogram(self):
+        telemetry = CampaignTelemetry()
+        telemetry.cell_computed("g", 0.3)
+        text = telemetry.render()
+        assert 'repro_campaign_cell_seconds_count{campaign="g"} 1' in text
+        assert 'repro_campaign_cell_seconds_bucket{campaign="g",le="+Inf"} 1' in text
+
+
+class TestExecutorIntegration:
+    def test_run_records_outcomes_without_changing_traces(self, tmp_path):
+        spec = get_scenario("ledger-comparison").with_workload(
+            slots=8, validation_min_age_slots=4
+        )
+        campaign = CampaignSpec(name="tel", cells=replicate_seeds(spec, (0, 1)))
+
+        bare = CampaignExecutor(use_cache=False).run(campaign)
+        telemetry = CampaignTelemetry()
+        observed = CampaignExecutor(
+            cache_dir=tmp_path / "cache", telemetry=telemetry
+        ).run(campaign)
+
+        # telemetry is write-only observation: identical cell results
+        assert [c.trace_sha256 for c in bare.cells] == [
+            c.trace_sha256 for c in observed.cells
+        ]
+        cells = telemetry.registry.get("repro_campaign_cells_total")
+        assert cells.value(campaign="tel", outcome="computed") == 2
+
+        # a second, fully cached run lands in the cached outcome
+        second = CampaignTelemetry()
+        CampaignExecutor(
+            cache_dir=tmp_path / "cache", telemetry=second
+        ).run(campaign)
+        assert second.registry.get("repro_campaign_cells_total").value(
+            campaign="tel", outcome="cached"
+        ) == 2

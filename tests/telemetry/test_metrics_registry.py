@@ -1,0 +1,150 @@
+"""MetricsRegistry: declaration, writing, and Prometheus exposition."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsError,
+    MetricsRegistry,
+)
+
+
+class TestDeclaration:
+    def test_counter_gauge_histogram_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "a", ("x",))
+        registry.gauge("b", "b")
+        registry.histogram("c_seconds", "c")
+        assert registry.names() == ["a_total", "b", "c_seconds"]
+        assert registry.get("a_total").labelnames == ("x",)
+        assert registry.get("nope") is None
+
+    def test_redeclaration_returns_the_same_family(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", "hits", ("k",))
+        assert registry.counter("hits_total", "hits", ("k",)) is first
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "hits", ("k",))
+        with pytest.raises(MetricsError, match="re-declared"):
+            registry.gauge("hits_total", "hits", ("k",))
+        with pytest.raises(MetricsError, match="re-declared"):
+            registry.counter("hits_total", "hits", ("other",))
+
+    def test_bad_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="invalid metric name"):
+            registry.counter("9lives", "")
+        with pytest.raises(MetricsError, match="invalid metric name"):
+            registry.counter("has space", "")
+        with pytest.raises(MetricsError):
+            registry.counter("ok_total", "", labelnames=("bad-label",))
+
+    def test_histogram_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            registry.histogram("h", "", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(MetricsError, match="strictly increasing"):
+            registry.histogram("h", "", buckets=(2.0, 1.0))
+
+
+class TestWriting:
+    def test_counter_accumulates_and_refuses_decrease(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total", "", ("k",))
+        hits.inc(k="a")
+        hits.inc(2, k="a")
+        assert hits.value(k="a") == 3.0
+        assert hits.value(k="unseen") == 0.0
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            hits.inc(-1, k="a")
+
+    def test_gauge_set_overwrites(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("depth", "")
+        depth.set(5)
+        depth.set(2)
+        assert depth.value() == 2.0
+
+    def test_type_mismatched_operations_raise(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "")
+        histogram = registry.histogram("h", "")
+        with pytest.raises(MetricsError):
+            counter.set(1)
+        with pytest.raises(MetricsError):
+            counter.observe(1)
+        with pytest.raises(MetricsError):
+            histogram.inc()
+        with pytest.raises(MetricsError):
+            histogram.value()
+
+    def test_wrong_label_set_raises(self):
+        registry = MetricsRegistry()
+        hits = registry.counter("hits_total", "", ("k",))
+        with pytest.raises(MetricsError, match="takes labels"):
+            hits.inc()
+        with pytest.raises(MetricsError, match="takes labels"):
+            hits.inc(k="a", extra="b")
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_and_inf_is_count(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", "", ("k",), buckets=(0.1, 1.0, 5.0))
+        for value in (0.05, 0.5, 0.7, 2.0, 99.0):
+            h.observe(value, k="a")
+        samples = {
+            (name, labels): value for name, labels, value in h.samples()
+        }
+        le = lambda bound: (("k", "a"), ("le", bound))
+        assert samples[("t_bucket", le("0.1"))] == 1
+        assert samples[("t_bucket", le("1"))] == 3
+        assert samples[("t_bucket", le("5"))] == 4
+        assert samples[("t_bucket", le("+Inf"))] == 5
+        assert samples[("t_sum", (("k", "a"),))] == pytest.approx(102.25)
+        assert samples[("t_count", (("k", "a"),))] == 5
+
+    def test_bucket_counts_never_exceed_inf(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("t", "", buckets=DEFAULT_BUCKETS)
+        for value in (0.001, 0.2, 3.0, 100.0, 0.009):
+            h.observe(value)
+        values = [v for name, _, v in h.samples() if name == "t_bucket"]
+        assert values == sorted(values)
+        assert values[-1] == 5  # +Inf bucket equals the observation count
+
+
+class TestExposition:
+    def test_render_is_sorted_and_byte_stable(self):
+        def build():
+            registry = MetricsRegistry()
+            hits = registry.counter("z_total", "last family", ("b", "a"))
+            gauge = registry.gauge("a_value", "first family")
+            # insertion order deliberately scrambled
+            hits.inc(b="2", a="y")
+            hits.inc(b="1", a="x")
+            gauge.set(3.5)
+            return registry.render_prometheus()
+
+        text = build()
+        assert text == build()
+        assert text.index("a_value") < text.index("z_total")
+        assert '{b="1",a="x"}' in text
+        assert text.splitlines()[0] == "# HELP a_value first family"
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "", ("k",)).inc(k='sa"y\\new\nline')
+        text = registry.render_prometheus()
+        assert 'k="sa\\"y\\\\new\\nline"' in text
+
+    def test_integers_render_without_dot(self):
+        registry = MetricsRegistry()
+        registry.gauge("g", "").set(7.0)
+        assert "g 7\n" in MetricsRegistry.render_prometheus(registry)
