@@ -30,15 +30,25 @@ class Transaction:
     timestamp: float
 
     def digest(self) -> Digest:
-        """Content hash identifying the transaction."""
-        return hash_fields(
-            [
-                self.issuer.to_bytes(4, "big"),
-                self.index.to_bytes(8, "big"),
-                *self.parents,
-                self.payload_seed,
-            ]
-        )
+        """Content hash identifying the transaction.
+
+        Memoised on the instance: every node re-derives the digest on
+        gossip receipt and tangle insertion, always through the same
+        shared transaction object, so after the first call this is an
+        attribute read.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = hash_fields(
+                [
+                    self.issuer.to_bytes(4, "big"),
+                    self.index.to_bytes(8, "big"),
+                    *self.parents,
+                    self.payload_seed,
+                ]
+            )
+            object.__setattr__(self, "_digest", cached)
+        return cached
 
     @property
     def size_bits(self) -> int:

@@ -120,6 +120,14 @@ class PbftReplica:
             return
         digest = request_digest(request)
         self._pending_requests[digest.value] = request
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # Lifecycle emissions for span collectors; detail reads are
+            # guarded so disabled runs pay one predicate check.
+            tracer.emit(
+                self.network.sim.now, "pbft.request", self.replica_id,
+                key=request.payload_seed.decode("utf-8", "replace"),
+            )
         if self.is_primary:
             self._propose(request)
         else:
@@ -178,6 +186,13 @@ class PbftReplica:
         if request_digest(pre_prepare.request) != pre_prepare.digest:
             return  # digest mismatch: equivocation attempt
         state.pre_prepare = pre_prepare
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.network.sim.now, "pbft.preprepare", self.replica_id,
+                key=pre_prepare.request.payload_seed.decode("utf-8", "replace"),
+                view=pre_prepare.view, seq=pre_prepare.sequence,
+            )
         prepare = Prepare(
             view=pre_prepare.view,
             sequence=pre_prepare.sequence,
@@ -205,6 +220,15 @@ class PbftReplica:
         if len(state.prepares) < 2 * self.f:
             return
         state.sent_commit = True
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.network.sim.now, "pbft.prepared", self.replica_id,
+                key=state.pre_prepare.request.payload_seed.decode(
+                    "utf-8", "replace"
+                ),
+                view=state.pre_prepare.view, seq=state.pre_prepare.sequence,
+            )
         commit = Commit(
             view=state.pre_prepare.view,
             sequence=state.pre_prepare.sequence,
@@ -234,6 +258,13 @@ class PbftReplica:
         state.executed = True
         pre_prepare = state.pre_prepare
         request = pre_prepare.request
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.network.sim.now, "pbft.executed", self.replica_id,
+                key=request.payload_seed.decode("utf-8", "replace"),
+                view=pre_prepare.view, seq=pre_prepare.sequence,
+            )
         self._executed_digests.add(pre_prepare.digest.value)
         self._pending_requests.pop(pre_prepare.digest.value, None)
         block = ChainBlock(
@@ -262,6 +293,12 @@ class PbftReplica:
     def _start_view_change(self, new_view: int) -> None:
         if new_view <= self.view:
             return
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.network.sim.now, "pbft.viewchange", self.replica_id,
+                view=new_view,
+            )
         vote = ViewChange(
             new_view=new_view, last_sequence=self.chain.height, replica=self.replica_id
         )
@@ -284,6 +321,12 @@ class PbftReplica:
             return
         self.view = new_view
         self.next_sequence = max(self.next_sequence, self.chain.height)
+        tracer = self.network.tracer
+        if tracer.enabled:
+            tracer.emit(
+                self.network.sim.now, "pbft.newview", self.replica_id,
+                view=new_view,
+            )
         if self.is_primary:
             announcement = NewView(view=new_view, last_sequence=self.chain.height)
             self._broadcast(KIND_NEW_VIEW, announcement, announcement.size_bits)

@@ -351,7 +351,8 @@ def _slot_sim_result(spec, wall, events, blocks, validations, success_rate,
     )
 
 
-def _run_slot_sim(fast: bool, spec=None, executor=None, telemetry=None) -> BenchResult:
+def _run_slot_sim(fast: bool, spec=None, executor=None, telemetry=None,
+                  spans=None) -> BenchResult:
     """The macro workload, timed.
 
     Without an executor the workload runs inline (timing only the slot
@@ -363,8 +364,12 @@ def _run_slot_sim(fast: bool, spec=None, executor=None, telemetry=None) -> Bench
     ``telemetry`` (a :class:`~repro.telemetry.events.TelemetryRecorder`)
     records the run's event stream *inside* the timed region — that is
     deliberate, so ``bench --telemetry`` measures the instrumentation
-    overhead the docs/observability.md budget (< 1.10x) gates.  It is
-    ignored on the executor-routed path (cells run in worker processes).
+    overhead the docs/observability.md budget (< 1.10x) gates.
+    ``spans`` (a :class:`~repro.telemetry.spans.SpanRecorder`) likewise
+    puts the block-lifecycle collectors inside the timed region, so
+    ``bench --telemetry DIR --trace-sample RATE`` measures the tracing
+    budget the same way.  Both are ignored on the executor-routed path
+    (cells run in worker processes).
     """
     from repro.bench.trace import slot_simulation_trace_digest
     from repro.scenario import ScenarioRunner, bench_scenario
@@ -393,7 +398,7 @@ def _run_slot_sim(fast: bool, spec=None, executor=None, telemetry=None) -> Bench
             cached=cell.cached,
         )
 
-    runner = ScenarioRunner(spec, telemetry=telemetry).build()
+    runner = ScenarioRunner(spec, telemetry=telemetry, spans=spans).build()
     workload_spec = spec.workload
 
     start = time.perf_counter()
@@ -414,7 +419,8 @@ def _run_slot_sim(fast: bool, spec=None, executor=None, telemetry=None) -> Bench
     )
 
 
-def _run_ledger_slot_sim(backend: str, fast: bool, telemetry=None) -> BenchResult:
+def _run_ledger_slot_sim(backend: str, fast: bool, telemetry=None,
+                         spans=None) -> BenchResult:
     """A baseline backend's macro workload, timed end to end.
 
     Unlike the 2LDAG macro (which times only slot driving), deployment
@@ -426,7 +432,7 @@ def _run_ledger_slot_sim(backend: str, fast: bool, telemetry=None) -> BenchResul
 
     spec = ledger_bench_scenario(backend, fast=fast)
     start = time.perf_counter()
-    result = ScenarioRunner(spec, telemetry=telemetry).run()
+    result = ScenarioRunner(spec, telemetry=telemetry, spans=spans).run()
     wall = time.perf_counter() - start
     bench = _slot_sim_result(
         spec,
@@ -451,6 +457,7 @@ def run_benchmarks(
     slot_sim_spec=None,
     executor=None,
     telemetry_dir: Optional[str] = None,
+    trace_sample: Optional[float] = None,
 ) -> Dict[str, BenchResult]:
     """Run all (or ``only`` the named) benchmarks; returns name -> result.
 
@@ -461,8 +468,13 @@ def run_benchmarks(
     :func:`_run_slot_sim` for the timing caveat).  ``telemetry_dir``
     records each macro workload's event stream there, inside the timed
     region — compare the ``slot_sim`` wall clock against a plain run to
-    measure the instrumentation overhead.
+    measure the instrumentation overhead.  ``trace_sample`` (requires
+    ``telemetry_dir``) additionally records block-lifecycle trace
+    streams at that sample rate, measuring the tracing budget the same
+    way.
     """
+    if trace_sample is not None and telemetry_dir is None:
+        raise ValueError("trace_sample requires telemetry_dir")
 
     def _recorder():
         if telemetry_dir is None:
@@ -470,6 +482,13 @@ def run_benchmarks(
         from repro.telemetry import TelemetryRecorder
 
         return TelemetryRecorder(telemetry_dir)
+
+    def _spans():
+        if trace_sample is None:
+            return None
+        from repro.telemetry.spans import SpanRecorder
+
+        return SpanRecorder(telemetry_dir, sample=trace_sample)
 
     min_round_time = 0.005 if fast else 0.1
     rounds = 2 if fast else 5
@@ -483,7 +502,7 @@ def run_benchmarks(
             f"({result.ops_per_sec:>14,.0f} ops/s)")
     if not only or "slot_sim" in only:
         result = _run_slot_sim(fast, spec=slot_sim_spec, executor=executor,
-                               telemetry=_recorder())
+                               telemetry=_recorder(), spans=_spans())
         results["slot_sim"] = result
         metrics = result.metrics
         log(f"{'slot_sim':<26} {metrics['wall_s']:.3f} s wall, "
@@ -494,7 +513,7 @@ def run_benchmarks(
         from repro.scenario import fault_bench_scenario
 
         result = _run_slot_sim(fast, spec=fault_bench_scenario(fast),
-                               telemetry=_recorder())
+                               telemetry=_recorder(), spans=_spans())
         result.name = "slot_sim_faults"
         result.metrics["faulted"] = True
         results["slot_sim_faults"] = result
@@ -507,7 +526,8 @@ def run_benchmarks(
         name = f"slot_sim_{backend}"
         if only and name not in only:
             continue
-        result = _run_ledger_slot_sim(backend, fast, telemetry=_recorder())
+        result = _run_ledger_slot_sim(backend, fast, telemetry=_recorder(),
+                                      spans=_spans())
         results[name] = result
         metrics = result.metrics
         log(f"{name:<26} {metrics['wall_s']:.3f} s wall, "

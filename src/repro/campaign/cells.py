@@ -87,8 +87,31 @@ def execute_cell(cell: CellSpec) -> Dict[str, Any]:
 
 @register_cell_kind("scenario")
 def run_scenario_cell(cell: CellSpec) -> Dict[str, Any]:
-    """The default kind: run the whole slot workload, return the result."""
-    return ScenarioRunner(cell.scenario).run().to_dict()
+    """The default kind: run the whole slot workload, return the result.
+
+    Telemetry is env-driven so it reaches worker processes without
+    widening the cell payload: ``$REPRO_TELEMETRY`` opts into per-slot
+    streams, ``$REPRO_TRACE_SAMPLE`` into block-lifecycle trace
+    streams.  Both recorders are pure observers — the payload (and its
+    trace digest, the campaign's byte-identity witness) is identical
+    with them on or off — and both truncate their stream on
+    ``run_started``, so a chaos-retried cell rewrites cleanly.
+    """
+    from repro.telemetry import telemetry_dir_from_env
+    from repro.telemetry.spans import SpanRecorder, trace_sample_from_env
+
+    telemetry = None
+    telemetry_dir = telemetry_dir_from_env()
+    if telemetry_dir:
+        from repro.telemetry import TelemetryRecorder
+
+        telemetry = TelemetryRecorder(telemetry_dir)
+    spans = None
+    sample = trace_sample_from_env()
+    if telemetry_dir and sample is not None:
+        spans = SpanRecorder(telemetry_dir, sample=sample)
+    runner = ScenarioRunner(cell.scenario, telemetry=telemetry, spans=spans)
+    return runner.run().to_dict()
 
 
 def run_scenario_cells(

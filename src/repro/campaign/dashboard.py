@@ -209,10 +209,64 @@ def _series_lines(
     return lines
 
 
+_MONITOR_COLORS = {"pass": "#009E73", "fail": "#D55E00", "skip": "#999999"}
+
+
+def _monitor_panel(monitors: Dict[str, Any]) -> str:
+    """The invariant-monitor verdict table for one monitors document."""
+    counts = monitors["counts"]
+    color = _MONITOR_COLORS.get(monitors["status"], "#333")
+    parts = [
+        "<h2>Invariant monitors</h2>",
+        f'<p>verdict <b style="color:{color}">{_esc(monitors["status"])}</b>'
+        f' · {counts["pass"]} pass / {counts["fail"]} fail / '
+        f'{counts["skip"]} skip</p>',
+        "<table><thead><tr><th>scenario</th><th>backend</th><th>seed</th>"
+        "<th>monitor</th><th>status</th><th>detail</th></tr></thead><tbody>",
+    ]
+    for run in monitors["runs"]:
+        for verdict in run["monitors"]:
+            vcolor = _MONITOR_COLORS.get(verdict["status"], "#333")
+            parts.append(
+                f"<tr><td>{_esc(run['scenario'])}</td>"
+                f"<td>{_esc(run['backend'])}</td><td>{run['seed']}</td>"
+                f"<td>{_esc(verdict['id'])}</td>"
+                f'<td style="color:{vcolor};font-weight:bold">'
+                f"{_esc(verdict['status'])}</td>"
+                f"<td>{_esc(verdict['detail'])}</td></tr>"
+            )
+    parts.append("</tbody></table>")
+    return "".join(parts)
+
+
+def _waterfall_panel(waterfalls: Sequence[Tuple[str, str]]) -> str:
+    """Inline block-lifecycle waterfall SVGs, one figure per (caption, svg).
+
+    The SVGs come from :func:`repro.telemetry.tracepath.waterfall_svg`,
+    which HTML-escapes every interpolated string itself, so they embed
+    verbatim; only the captions are escaped here.
+    """
+    parts = ["<h2>Block-lifecycle waterfalls</h2>"]
+    for caption, svg in waterfalls:
+        parts.append(
+            f"<figure>{svg}<figcaption>{_esc(caption)}</figcaption></figure>"
+        )
+    return "".join(parts)
+
+
 def render_dashboard(
-    campaign: CampaignSpec, executor: CampaignExecutor
+    campaign: CampaignSpec,
+    executor: CampaignExecutor,
+    monitors: Optional[Dict[str, Any]] = None,
+    waterfalls: Optional[Sequence[Tuple[str, str]]] = None,
 ) -> str:
-    """The complete dashboard HTML for ``campaign``'s current state."""
+    """The complete dashboard HTML for ``campaign``'s current state.
+
+    ``monitors`` is an optional verdict document from
+    :func:`repro.telemetry.monitors.evaluate_monitors`; ``waterfalls``
+    an optional sequence of (caption, svg) block-lifecycle figures.
+    Both render as extra panels when given.
+    """
     rows = executor.status_report(campaign)
     events: List[Dict[str, Any]] = []
     if executor.cache is not None:
@@ -238,6 +292,8 @@ def render_dashboard(
         f"</figure>"
         for key, title in _CHARTED_SERIES
     )
+    monitor_panel = _monitor_panel(monitors) if monitors is not None else ""
+    waterfall_panel = _waterfall_panel(waterfalls) if waterfalls else ""
     return f"""<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -264,8 +320,10 @@ campaign digest <code>{_esc(campaign.digest()[:16])}</code></p>
 <p>{badges}</p>
 <h2>Cells</h2>
 {_status_table(rows)}
+{monitor_panel}
 <h2>Per-slot series (completed cells)</h2>
 {charts}
+{waterfall_panel}
 </body>
 </html>
 """
@@ -275,10 +333,15 @@ def write_dashboard(
     campaign: CampaignSpec,
     executor: CampaignExecutor,
     path: Union[str, Path],
+    monitors: Optional[Dict[str, Any]] = None,
+    waterfalls: Optional[Sequence[Tuple[str, str]]] = None,
 ) -> Path:
     """Render and atomically write the dashboard; returns the path."""
     from repro.experiments.persistence import atomic_write_text
 
     target = Path(path)
-    atomic_write_text(target, render_dashboard(campaign, executor))
+    atomic_write_text(
+        target,
+        render_dashboard(campaign, executor, monitors, waterfalls),
+    )
     return target

@@ -139,6 +139,42 @@ class WallClockInSimRule(Rule):
 
 
 @register_rule
+class WallClockInTelemetryRule(Rule):
+    """Telemetry records only simulated/slot time, never the host clock."""
+
+    id = "wall-clock-in-telemetry"
+    severity = ERROR
+    summary = "wall-clock read inside the telemetry layer"
+    rationale = (
+        "Telemetry streams, trace spans and monitor verdicts are pinned "
+        "byte-for-byte in tests and CI; a host-clock timestamp anywhere in "
+        "repro/telemetry/ would make recorded streams machine-dependent.  "
+        "All times in streams are slot/kernel times handed in by the "
+        "runner; wall timing belongs to infrastructure (bench, campaign "
+        "executor)."
+    )
+
+    #: Same host-clock catalogue as ``wall-clock-in-sim``.
+    WALL_CLOCKS = WallClockInSimRule.WALL_CLOCKS
+
+    def check(self, module: ModuleUnderCheck) -> Iterator[Finding]:
+        if not module.in_path("repro/telemetry/"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = module.resolve(node.func)
+            if origin in self.WALL_CLOCKS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{origin}() reads the wall clock inside the telemetry "
+                    f"layer; record the slot/kernel time the runner "
+                    f"provides instead",
+                )
+
+
+@register_rule
 class BuiltinHashRule(Rule):
     """The builtin ``hash()`` is PYTHONHASHSEED-dependent; digests must
     come from :mod:`repro.crypto.hashing`."""

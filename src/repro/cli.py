@@ -236,6 +236,16 @@ def _telemetry_dir(args) -> Optional[str]:
     return getattr(args, "telemetry", None) or telemetry_dir_from_env()
 
 
+def _trace_sample(args) -> Optional[float]:
+    """The block-trace sample rate in effect: ``--trace-sample`` or env."""
+    from repro.telemetry.spans import trace_sample_from_env
+
+    rate = getattr(args, "trace_sample", None)
+    if rate is not None:
+        return min(float(rate), 1.0) if rate > 0 else None
+    return trace_sample_from_env()
+
+
 def cmd_simulate(args) -> int:
     """Run a scenario's slot workload; print its summary and trace digest."""
     spec = _scenario_spec(args, validate=args.validate, run_until_quiet=True)
@@ -245,12 +255,25 @@ def cmd_simulate(args) -> int:
         from repro.telemetry import TelemetryRecorder
 
         telemetry = TelemetryRecorder(telemetry_dir)
-    runner = ScenarioRunner(spec, telemetry=telemetry)
+    spans = None
+    sample = _trace_sample(args)
+    if sample is not None:
+        if not telemetry_dir:
+            print("--trace-sample needs a telemetry directory "
+                  "(--telemetry or $REPRO_TELEMETRY)", file=sys.stderr)
+            return 2
+        from repro.telemetry.spans import SpanRecorder
+
+        spans = SpanRecorder(telemetry_dir, sample=sample)
+    runner = ScenarioRunner(spec, telemetry=telemetry, spans=spans)
     result = runner.run()
     print(result.summary())
     if telemetry is not None:
         print(f"telemetry stream: {telemetry.path} "
               f"({telemetry.records_written} record(s))")
+    if spans is not None:
+        print(f"trace stream: {spans.path} "
+              f"({spans.blocks_traced} block(s) traced at sample {sample:g})")
     if runner.fault_engine is not None:
         applied = runner.fault_engine.applied
         print(f"faults applied: {len(applied)} event(s)")
@@ -367,13 +390,34 @@ def cmd_campaign(args) -> int:
 
     campaign = _load_campaign(args.spec)
     telemetry_dir = (
-        _telemetry_dir(args) if args.action in ("run", "dashboard") else None
+        _telemetry_dir(args)
+        if args.action in ("run", "dashboard", "status")
+        else None
     )
     campaign_telemetry = None
     if telemetry_dir and args.action == "run":
+        from repro.telemetry import TELEMETRY_ENV_VAR
         from repro.telemetry.campaign import CampaignTelemetry
 
         campaign_telemetry = CampaignTelemetry()
+        # Worker processes pick telemetry up from the environment, so a
+        # --telemetry flag must land there too for cells to stream.
+        os.environ[TELEMETRY_ENV_VAR] = telemetry_dir
+    if args.action == "run":
+        from repro.telemetry.spans import TRACE_SAMPLE_ENV_VAR
+
+        trace_sample = _trace_sample(args)
+        if trace_sample is not None:
+            if not telemetry_dir:
+                print("--trace-sample needs a telemetry directory "
+                      "(--telemetry or $REPRO_TELEMETRY)", file=sys.stderr)
+                return 2
+            os.environ[TRACE_SAMPLE_ENV_VAR] = f"{trace_sample:g}"
+    monitors_mode = getattr(args, "monitors", "off")
+    if monitors_mode != "off" and not telemetry_dir:
+        print(f"--monitors {monitors_mode} needs a telemetry directory "
+              "(--telemetry or $REPRO_TELEMETRY)", file=sys.stderr)
+        return 2
     try:
         # status/clean parsers lack the resilience flags; getattr keeps
         # one construction path (and $REPRO_CHAOS is resolved here so a
@@ -392,8 +436,29 @@ def cmd_campaign(args) -> int:
     if args.action == "dashboard":
         from repro.campaign import write_dashboard
 
+        monitors_doc = None
+        waterfalls = None
+        if telemetry_dir and os.path.isdir(telemetry_dir):
+            from repro.telemetry import TelemetryError
+            from repro.telemetry.monitors import evaluate_monitors
+            from repro.telemetry import tracepath
+
+            try:
+                monitors_doc = evaluate_monitors([telemetry_dir])
+                if not monitors_doc["runs"]:
+                    monitors_doc = None
+                waterfalls = []
+                for path, records in tracepath.read_trace_streams(
+                    [telemetry_dir]
+                ):
+                    figure = tracepath.waterfall_figure(path, records)
+                    if figure is not None:
+                        waterfalls.append(figure)
+            except TelemetryError as error:
+                print(f"skipping telemetry panels: {error}", file=sys.stderr)
+                monitors_doc, waterfalls = None, None
         out = args.out or f"dashboard-{campaign.name}.html"
-        write_dashboard(campaign, executor, out)
+        write_dashboard(campaign, executor, out, monitors_doc, waterfalls)
         print(f"dashboard written to {out}")
         return 0
 
@@ -425,6 +490,24 @@ def cmd_campaign(args) -> int:
             last = events[-1]
             print(f"last journal event: {last.get('event')} "
                   f"({executor.cache.journal_path(campaign.digest())})")
+        if telemetry_dir:
+            doc_path = os.path.join(
+                telemetry_dir, f"monitors-{campaign.name}.json"
+            )
+            if os.path.exists(doc_path):
+                from repro.telemetry import TelemetryError
+                from repro.telemetry.monitors import load_monitor_document
+
+                try:
+                    document = load_monitor_document(doc_path)
+                except TelemetryError as error:
+                    print(f"monitors document invalid: {error}",
+                          file=sys.stderr)
+                    return 1
+                counts = document["counts"]
+                print(f"invariant monitors: {document['status']} "
+                      f"({counts['pass']} pass, {counts['fail']} fail, "
+                      f"{counts['skip']} skip) [{doc_path}]")
         return 0
 
     if args.action == "clean":
@@ -463,6 +546,35 @@ def cmd_campaign(args) -> int:
         os.makedirs(telemetry_dir, exist_ok=True)
         atomic_write_text(prom_path, campaign_telemetry.render())
         print(f"campaign metrics exposition: {prom_path}")
+    exit_code = 0
+    if monitors_mode != "off":
+        import json
+
+        from repro.experiments.persistence import atomic_write_text
+        from repro.telemetry import TelemetryError
+        from repro.telemetry.monitors import (
+            evaluate_monitors,
+            format_monitor_table,
+        )
+
+        try:
+            document = evaluate_monitors([telemetry_dir])
+        except TelemetryError as error:
+            print(f"monitor evaluation failed: {error}", file=sys.stderr)
+            return 1
+        doc_path = os.path.join(
+            telemetry_dir, f"monitors-{campaign.name}.json"
+        )
+        atomic_write_text(
+            doc_path, json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+        print()
+        print(format_monitor_table(document))
+        print(f"monitors document: {doc_path}")
+        if monitors_mode == "strict" and document["status"] != "pass":
+            print("campaign gate: invariant monitors FAILED (strict mode)",
+                  file=sys.stderr)
+            exit_code = 1
     if result.quarantined_count:
         print(
             f"campaign degraded: {result.quarantined_count} cell(s) quarantined "
@@ -470,7 +582,7 @@ def cmd_campaign(args) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return exit_code
 
 
 def cmd_fig7(args) -> int:
@@ -548,11 +660,22 @@ def cmd_bench(args) -> int:
 
     fast = args.fast or os.environ.get("REPRO_BENCH_FAST") == "1"
     slot_sim_spec = _load_scenario(args.scenario) if args.scenario else None
+    # Explicit flags only (no env fallback), matching --telemetry: an
+    # ambient sample rate must never skew bench timings.
+    trace_sample = getattr(args, "trace_sample", None)
+    if trace_sample is not None and trace_sample <= 0:
+        trace_sample = None
+    if trace_sample is not None:
+        trace_sample = min(float(trace_sample), 1.0)
+        if getattr(args, "telemetry", None) is None:
+            print("--trace-sample needs --telemetry DIR", file=sys.stderr)
+            return 2
     results = bench_runner.run_benchmarks(
         fast=fast, only=args.only or None, log=print,
         slot_sim_spec=slot_sim_spec,
         executor=_executor_from_args(args, use_cache=False),
         telemetry_dir=getattr(args, "telemetry", None),
+        trace_sample=trace_sample,
     )
     document = bench_runner.results_to_json(results, fast=fast)
     out_path = args.out or bench_runner.default_output_name(document["rev"])
@@ -623,6 +746,8 @@ def cmd_telemetry(args) -> int:
         validate_stream,
     )
 
+    from repro.telemetry.spans import is_trace_stream, validate_trace_stream
+
     paths = _telemetry_paths(args)
     if args.action == "validate":
         try:
@@ -632,9 +757,16 @@ def cmd_telemetry(args) -> int:
             return 2
         errors: List[str] = []
         records = 0
+        traces = 0
         for stream in streams:
             text = stream.read_text()
-            errors.extend(validate_stream(text, source=str(stream)))
+            # Trace streams carry the v2 span schema; everything else
+            # is a v1 per-slot stream.  Validate each against its own.
+            if is_trace_stream(stream):
+                traces += 1
+                errors.extend(validate_trace_stream(text, source=str(stream)))
+            else:
+                errors.extend(validate_stream(text, source=str(stream)))
             records += sum(1 for line in text.splitlines() if line.strip())
         for message in errors:
             print(message, file=sys.stderr)
@@ -642,8 +774,60 @@ def cmd_telemetry(args) -> int:
             print(f"INVALID: {len(errors)} schema violation(s) across "
                   f"{len(streams)} stream(s)", file=sys.stderr)
             return 1
-        print(f"OK: {len(streams)} stream(s), {records} record(s), "
-              f"all fit the pinned schema")
+        print(f"OK: {len(streams)} stream(s) ({traces} trace stream(s)), "
+              f"{records} record(s), all fit the pinned schemas")
+        return 0
+    if args.action == "trace":
+        from repro.telemetry import tracepath
+
+        try:
+            streams = tracepath.read_trace_streams(paths)
+        except TelemetryError as error:
+            print(str(error), file=sys.stderr)
+            return 2
+        if not streams:
+            print("no trace streams found (record them with "
+                  "simulate --trace-sample)", file=sys.stderr)
+            return 1
+        if args.block:
+            found = [
+                (path, trace, records)
+                for path, records in streams
+                for trace in records
+                if trace.get("event") == "block-trace"
+                and trace["block"] == args.block
+            ]
+            if not found:
+                print(f"block {args.block!r} not traced in any stream",
+                      file=sys.stderr)
+                return 1
+            for path, trace, records in found:
+                start = next(
+                    r for r in records if r.get("event") == "trace-start"
+                )
+                print(f"# {path}")
+                print(tracepath.block_waterfall(trace, start["backend"]))
+            return 0
+        report = tracepath.trace_report(streams)
+        if getattr(args, "json", False):
+            import json
+
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(tracepath.format_trace_report(report))
+        if args.svg:
+            for path, records in streams:
+                figure = tracepath.waterfall_figure(path, records)
+                if figure is None:
+                    continue
+                from repro.experiments.persistence import atomic_write_text
+
+                atomic_write_text(args.svg, figure[1])
+                print(f"waterfall SVG ({figure[0]}) written to {args.svg}")
+                break
+            else:
+                print("no traced blocks to chart", file=sys.stderr)
+                return 1
         return 0
     try:
         if args.action == "export":
@@ -661,7 +845,12 @@ def cmd_telemetry(args) -> int:
         if not summaries:
             print("no telemetry streams found", file=sys.stderr)
             return 1
-        print(format_summary_table(summaries))
+        if getattr(args, "json", False):
+            import json
+
+            print(json.dumps(summaries, indent=2, sort_keys=True))
+        else:
+            print(format_summary_table(summaries))
         return 0
     except TelemetryError as error:
         print(str(error), file=sys.stderr)
@@ -734,6 +923,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "observation: trace digests are byte-identical "
                             "with telemetry on or off")
 
+    def trace_sample_arg(p):
+        p.add_argument("--trace-sample", type=float, default=None,
+                       metavar="RATE",
+                       help="record block-lifecycle trace streams for a "
+                            "deterministic RATE sample of blocks (0..1, "
+                            "also via $REPRO_TRACE_SAMPLE; needs a "
+                            "telemetry directory) — a pure observation "
+                            "like --telemetry")
+
     def common(p):
         scenario_arg(p)
         backend_arg(p)
@@ -753,6 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "scaled to the scenario; overrides the spec's own "
                         "faults/churn (see docs/faults.md)")
     telemetry_arg(p)
+    trace_sample_arg(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("verify", help="verify one block via PoP")
@@ -818,6 +1017,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "complete the rest instead of aborting (exit 1 "
                             "when any cell was quarantined)")
     telemetry_arg(p_run)
+    trace_sample_arg(p_run)
+    p_run.add_argument("--monitors", choices=("off", "report", "strict"),
+                       default="off",
+                       help="evaluate the invariant monitors over the "
+                            "run's telemetry streams after the campaign "
+                            "(report: print + persist verdicts; strict: "
+                            "also exit 1 on any failed monitor)")
     p_run.set_defaults(fn=cmd_campaign, action="run")
     p_status = campaign_sub.add_parser(
         "status", help="per-cell done/failing/quarantined/pending report; "
@@ -828,6 +1034,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the pinned-schema status document "
                                "instead of the text report (see "
                                "docs/observability.md)")
+    telemetry_arg(p_status)
     p_status.set_defaults(fn=cmd_campaign, action="status")
     p_clean = campaign_sub.add_parser(
         "clean", help="drop the campaign's cached cells and journal"
@@ -843,6 +1050,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dash.add_argument("--out", default=None, metavar="FILE",
                         help="output HTML path "
                              "(default: dashboard-<campaign>.html)")
+    telemetry_arg(p_dash)
     p_dash.set_defaults(fn=cmd_campaign, action="dashboard")
 
     p = sub.add_parser(
@@ -891,6 +1099,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "ops under DIR (explicit flag only — the env var "
                         "is ignored here so ambient telemetry can never "
                         "skew bench timings)")
+    p.add_argument("--trace-sample", type=float, default=None, metavar="RATE",
+                   help="also record block-lifecycle trace streams for the "
+                        "macro ops at this sample rate (requires "
+                        "--telemetry; explicit flag only, for the same "
+                        "reason)")
     p.set_defaults(fn=cmd_bench)
     bench_sub = p.add_subparsers(dest="bench_action", required=False)
     p_hist = bench_sub.add_parser(
@@ -915,7 +1128,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_tsum.add_argument("paths", nargs="*", metavar="PATH",
                         help="stream files or directories "
                              "(default: $REPRO_TELEMETRY)")
+    p_tsum.add_argument("--json", action="store_true",
+                        help="emit the per-run summaries as JSON instead "
+                             "of the text table")
     p_tsum.set_defaults(fn=cmd_telemetry, action="summarize")
+    p_trace = telemetry_sub.add_parser(
+        "trace",
+        help="critical-path latency attribution and per-block waterfalls "
+             "over block-lifecycle trace streams (simulate --trace-sample)",
+    )
+    p_trace.add_argument("paths", nargs="*", metavar="PATH",
+                         help="trace stream files or directories "
+                              "(default: $REPRO_TELEMETRY)")
+    p_trace.add_argument("--block", default=None, metavar="KEY",
+                         help="print the ASCII waterfall for one traced "
+                              "block (e.g. '3#7', 'blk:2:5', 'iota:1:4')")
+    p_trace.add_argument("--json", action="store_true",
+                         help="emit the attribution report as JSON")
+    p_trace.add_argument("--svg", default=None, metavar="FILE",
+                         help="also write an inline-SVG waterfall of the "
+                              "most informative traced block to FILE")
+    p_trace.set_defaults(fn=cmd_telemetry, action="trace")
     p_texp = telemetry_sub.add_parser(
         "export", help="render streams as Prometheus text exposition"
     )

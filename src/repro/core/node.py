@@ -174,6 +174,17 @@ class IoTNode:
         self.cache.add(block.header)
         if self.dag_oracle is not None:
             self.dag_oracle.add_header(block.header)
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # Lifecycle emission for span collectors; the detail stays
+            # raw (Digest objects, no hex) so the enabled path is cheap
+            # — the collector stringifies only for sampled blocks.
+            tracer.emit(
+                self.network.sim.now, "block.created", self.node_id,
+                block=str(block.block_id),
+                digest=block.digest(self.config.hash_bits),
+                refs=tuple(digests.values()),
+            )
         self.broadcast_digest(block)
         self.network.tracer.emit(
             self.network.sim.now, "block.generated", self.node_id,
@@ -184,6 +195,15 @@ class IoTNode:
     def broadcast_digest(self, block: DataBlock) -> None:
         """Push ``H(b^h)`` to every neighbour (the only proactive traffic)."""
         digest = block.digest(self.config.hash_bits)
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # topology.neighbors is queried directly: the ``neighbors``
+            # property builds a fresh set per call, too heavy here.
+            tracer.emit(
+                self.network.sim.now, "block.gossiped", self.node_id,
+                block=str(block.block_id),
+                neighbors=len(self.topology.neighbors(self.node_id)),
+            )
         self.interface.broadcast_neighbors(
             "digest", (self.node_id, digest), self.config.digest_message_bits
         )
@@ -201,6 +221,18 @@ class IoTNode:
             # spoofed and discarded (§IV-D-5).
             return
         self.neighbor_digests[sender] = digest
+        tracer = self.network.tracer
+        if tracer.enabled:
+            # Filterable category: digest receipts are the sim's most
+            # frequent event, so a collector sampling few blocks
+            # registers an interest container and unwatched digests
+            # cost one membership test instead of a full emission.
+            interest = tracer.interests.get("block.digest_received")
+            if interest is None or digest.value in interest:
+                tracer.emit(
+                    self.network.sim.now, "block.digest_received", self.node_id,
+                    sender=sender, digest=digest,
+                )
 
     def _on_req_child(self, message: Message) -> None:
         """Responder role (Algorithm 4), via the behaviour hook."""

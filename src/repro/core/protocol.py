@@ -279,6 +279,12 @@ class SlotSimulation:
                     )
                     self._pending.append((record, process))
                     report.validations_started += 1
+                    tracer = self.deployment.tracer
+                    if tracer.enabled:
+                        tracer.emit(
+                            self.deployment.sim.now, "pop.started", node_id,
+                            block=str(target), verifier=target.origin,
+                        )
 
         return generate
 
@@ -348,11 +354,22 @@ class SlotSimulation:
         self._harvest_completed()
 
     def _harvest_completed(self) -> None:
+        tracer = self.deployment.tracer
         still_pending: List[Tuple[ValidationRecord, Process]] = []
         for record, process in self._pending:
             if process.triggered and process.ok:
                 record.outcome = process.value
                 self.validations.append(record)
+                if tracer.enabled:
+                    # Emitted at the validation's own finish time (the
+                    # outcome brackets it), not the harvest boundary.
+                    tracer.emit(
+                        record.outcome.finished_at, "pop.completed",
+                        record.validator,
+                        block=str(record.block_id),
+                        success=record.outcome.success,
+                        started=record.outcome.started_at,
+                    )
             elif process.triggered:
                 raise process.value
             else:

@@ -170,7 +170,7 @@ class ScenarioRunner:
     backends.
     """
 
-    def __init__(self, spec: ScenarioSpec, telemetry=None) -> None:
+    def __init__(self, spec: ScenarioSpec, telemetry=None, spans=None) -> None:
         self.spec = spec
         self.backend: Optional[LedgerBackend] = None
         self.deployment = None
@@ -185,6 +185,11 @@ class ScenarioRunner:
         #: read), and it never changes which slot boundaries are driven
         #: — so traces are byte-identical with telemetry on or off.
         self.telemetry = telemetry
+        #: Optional :class:`~repro.telemetry.spans.SpanRecorder` — the
+        #: block-lifecycle tracing twin, bound by the same no-op
+        #: contract (collectors subscribe to existing tracer emissions
+        #: and never touch simulation state).
+        self.spans = spans
         self._next_slot = 0
         self._sampled: Dict[int, Dict[str, float]] = {}
 
@@ -201,16 +206,31 @@ class ScenarioRunner:
         self.workload = getattr(backend, "workload", None)
         self.behaviors = getattr(backend, "behaviors", {})
         self.sybil_identities = getattr(backend, "sybil_identities", [])
+        if self.spans is not None:
+            backend.enable_block_tracing(self.spans.sample)
         schedule = self.spec.workload.fault_schedule()
         if schedule is not None:
-            observer = (
-                self.telemetry.fault_applied
-                if self.telemetry is not None else None
-            )
+            observers = []
+            if self.telemetry is not None:
+                observers.append(self.telemetry.fault_applied)
+            if self.spans is not None:
+                observers.append(self._spans_fault_applied)
+            observer = None
+            if observers:
+                def observer(event, slot, _observers=tuple(observers)):
+                    for callback in _observers:
+                        callback(event, slot)
             self.fault_engine = FaultEngine(schedule, backend, observer=observer)
         if self.telemetry is not None:
             self.telemetry.run_started(self.spec)
+        if self.spans is not None:
+            self.spans.run_started(self.spec)
         return self
+
+    def _spans_fault_applied(self, event, slot: int) -> None:
+        """Fault observer leg for span tracing: annotate + record."""
+        self.backend.trace_fault(event, slot)
+        self.spans.fault_applied(event, slot, self.backend.current_time())
 
     # -- driving -----------------------------------------------------------
     def _boundaries_until(self, target: int) -> List[int]:
@@ -315,6 +335,8 @@ class ScenarioRunner:
                 events=result.events,
                 trace_sha256=result.trace_sha256,
             )
+        if self.spans is not None:
+            self.spans.run_finished(self.backend.trace_block_events())
         return result
 
     def run(self) -> ScenarioResult:
@@ -322,6 +344,6 @@ class ScenarioRunner:
         return self.finish()
 
 
-def run_scenario(spec: ScenarioSpec, telemetry=None) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, telemetry=None, spans=None) -> ScenarioResult:
     """One-shot convenience: run ``spec`` and return its result."""
-    return ScenarioRunner(spec, telemetry=telemetry).run()
+    return ScenarioRunner(spec, telemetry=telemetry, spans=spans).run()

@@ -8,13 +8,16 @@ costs one predicate check per emit when disabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 
-@dataclass(frozen=True)
-class TraceRecord:
+class TraceRecord(NamedTuple):
     """One traced occurrence.
+
+    A named tuple rather than a dataclass: records are built on every
+    enabled emission inside hot simulation loops, and tuple
+    construction keeps that path cheap.  Records are immutable and
+    read-only by convention (``detail`` is owned by the emitter).
 
     Attributes
     ----------
@@ -31,7 +34,7 @@ class TraceRecord:
     time: float
     category: str
     node: Optional[int] = None
-    detail: Dict[str, Any] = field(default_factory=dict)
+    detail: Dict[str, Any] = {}
 
 
 class Tracer:
@@ -52,23 +55,55 @@ class Tracer:
         self.keep = keep
         self.records: List[TraceRecord] = []
         self._subscribers: Dict[str, List[Callable[[TraceRecord], None]]] = {}
+        #: Exact category -> matching callbacks, built lazily per
+        #: category so the hot emit path is one dict lookup instead of
+        #: a prefix scan; invalidated whenever a subscriber is added.
+        self._dispatch: Dict[str, Tuple[Callable[[TraceRecord], None], ...]] = {}
+        #: Cooperative source-level pre-filters for high-frequency
+        #: categories; see :meth:`set_interest`.
+        self.interests: Dict[str, Any] = {}
 
     def subscribe(self, category_prefix: str, callback: Callable[[TraceRecord], None]) -> None:
         """Invoke ``callback`` for records whose category has this prefix."""
         self._subscribers.setdefault(category_prefix, []).append(callback)
+        self._dispatch.clear()
         self.enabled = True
+
+    def set_interest(self, category: str, container: Any) -> None:
+        """Install a cooperative pre-filter for a high-frequency category.
+
+        Emission sites of categories documented as *filterable* consult
+        :attr:`interests` before emitting: when a container is
+        registered for the category, a record is emitted only for keys
+        present in it (``key in container``).  A subscriber that
+        samples a small population can thereby suppress the per-event
+        emission cost of the unsampled majority at the source, instead
+        of discarding records after they were built and dispatched.
+        The filter is category-wide: it also hides the skipped
+        emissions from every other subscriber of that category.
+        """
+        self.interests[category] = container
 
     def emit(self, time: float, category: str, node: Optional[int] = None, **detail: Any) -> None:
         """Emit a record; cheap no-op when tracing is disabled."""
         if not self.enabled:
             return
-        record = TraceRecord(time=time, category=category, node=node, detail=detail)
+        callbacks = self._dispatch.get(category)
+        if callbacks is None:
+            callbacks = tuple(
+                callback
+                for prefix, registered in self._subscribers.items()
+                if category.startswith(prefix)
+                for callback in registered
+            )
+            self._dispatch[category] = callbacks
+        if not callbacks and not self.keep:
+            return
+        record = TraceRecord(time, category, node, detail)
         if self.keep:
             self.records.append(record)
-        for prefix, callbacks in self._subscribers.items():
-            if category.startswith(prefix):
-                for callback in callbacks:
-                    callback(record)
+        for callback in callbacks:
+            callback(record)
 
     def by_category(self, category_prefix: str) -> List[TraceRecord]:
         """All retained records whose category starts with the prefix."""

@@ -10,10 +10,22 @@ Two halves, both dependency-free and deterministic:
   validators CI uses; :mod:`repro.telemetry.summarize` is the read
   side (tables + exposition for ``python -m repro telemetry ...``).
 
+On top, block-lifecycle tracing and invariant monitoring:
+
+* :mod:`repro.telemetry.spans` — the :class:`SpanRecorder` and
+  per-backend span collectors writing each run's v2 block-trace
+  stream (a deterministic sample of blocks, one span tree per block);
+* :mod:`repro.telemetry.tracepath` — critical-path latency
+  attribution, waterfalls and SVG rendering over trace streams
+  (``python -m repro telemetry trace``);
+* :mod:`repro.telemetry.monitors` — read-side liveness/safety/
+  fault-consistency probes producing a pinned-schema verdict document
+  (``campaign run --monitors``).
+
 Telemetry is strictly write-only observation: enabling it never feeds
 back into simulation decisions, so seeded trace digests and campaign
-cell digests are byte-identical with telemetry on or off (CI-gated).
-See docs/observability.md.
+cell digests are byte-identical with telemetry (and tracing) on or
+off (CI-gated).  See docs/observability.md.
 """
 
 from repro.telemetry.events import (
@@ -43,6 +55,27 @@ from repro.telemetry.metrics import (
     MetricsError,
     MetricsRegistry,
 )
+from repro.telemetry.monitors import (
+    MONITOR_IDS,
+    MONITOR_SCHEMA_VERSION,
+    evaluate_monitors,
+    format_monitor_table,
+    load_monitor_document,
+    validate_monitor_document,
+)
+from repro.telemetry.spans import (
+    SPAN_SCHEMA_VERSION,
+    TRACE_SAMPLE_ENV_VAR,
+    SpanRecorder,
+    block_sampled,
+    is_trace_stream,
+    parse_trace_stream,
+    span_stream_digest,
+    trace_sample_from_env,
+    trace_stream_filename,
+    validate_trace_record,
+    validate_trace_stream,
+)
 from repro.telemetry.summarize import (
     export_prometheus,
     format_summary_table,
@@ -50,6 +83,15 @@ from repro.telemetry.summarize import (
     registry_from_records,
     summarize_records,
     summarize_streams,
+)
+from repro.telemetry.tracepath import (
+    block_waterfall,
+    critical_path,
+    format_trace_report,
+    read_trace_streams,
+    trace_report,
+    waterfall_figure,
+    waterfall_svg,
 )
 
 __all__ = [
@@ -59,6 +101,8 @@ __all__ = [
     "FAULT",
     "GAUGE",
     "HISTOGRAM",
+    "MONITOR_IDS",
+    "MONITOR_SCHEMA_VERSION",
     "Metric",
     "MetricsError",
     "MetricsRegistry",
@@ -67,19 +111,41 @@ __all__ = [
     "SCHEMA_VERSION",
     "SLOT",
     "SLOT_SERIES_KEYS",
+    "SPAN_SCHEMA_VERSION",
+    "SpanRecorder",
     "TELEMETRY_ENV_VAR",
+    "TRACE_SAMPLE_ENV_VAR",
     "TelemetryError",
     "TelemetryRecorder",
+    "block_sampled",
+    "block_waterfall",
+    "critical_path",
     "discover_streams",
+    "evaluate_monitors",
     "export_prometheus",
+    "format_monitor_table",
     "format_summary_table",
+    "format_trace_report",
+    "is_trace_stream",
+    "load_monitor_document",
     "parse_stream",
+    "parse_trace_stream",
     "read_streams",
+    "read_trace_streams",
     "registry_from_records",
+    "span_stream_digest",
     "stream_filename",
     "summarize_records",
     "summarize_streams",
     "telemetry_dir_from_env",
+    "trace_report",
+    "trace_sample_from_env",
+    "trace_stream_filename",
+    "validate_monitor_document",
     "validate_record",
     "validate_stream",
+    "validate_trace_record",
+    "validate_trace_stream",
+    "waterfall_figure",
+    "waterfall_svg",
 ]

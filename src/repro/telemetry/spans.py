@@ -1,0 +1,825 @@
+"""Opt-in causal block-lifecycle tracing (span streams, schema v2).
+
+Where the v1 event streams (:mod:`repro.telemetry.events`) observe a
+run at *slot* granularity, this module records, for a deterministic
+sample of blocks, one span tree per block — the causal chain
+``created → gossiped → received → validated/committed → confirmed`` —
+with **slot-time timestamps only** (the kernel's simulated clock),
+never the wall clock.
+
+The moving parts:
+
+* :class:`SpanCollector` subclasses (one per registered ledger
+  backend) subscribe to the deployment's existing
+  :class:`~repro.sim.tracing.Tracer` and fold lifecycle emissions into
+  per-block traces.  Collection is pure observation: no RNG draws from
+  existing streams, no event scheduling, no state written back into
+  the simulation — which is what keeps a tracing-enabled run
+  byte-identical to a disabled one (the determinism no-op contract,
+  pinned per backend in tests and diffed in CI).
+* Block sampling is seeded from a named ``tracing`` stream:
+  :func:`block_sampled` is a pure function of the scenario's master
+  seed and the block key, so the sampled set is identical across
+  processes, replays and backends that share a key.
+* :class:`SpanRecorder` writes one run's trace stream as JSONL under
+  the telemetry directory, validated record by record against the
+  pinned v2 schema.
+
+Stream schema (``v`` = :data:`SPAN_SCHEMA_VERSION`, pinned; adding a
+record kind or a field bumps it)::
+
+    trace-start {v, event, scenario, backend, nodes, slots, seed, sample}
+    fault       {v, event, slot, kind, time, nodes, detail}
+    block-trace {v, event, block, origin, confirmed,
+                 spans:  [{phase, node, slot, start, end, detail?}…],
+                 faults: [{slot, kind, time, detail}…]}
+    trace-end   {v, event, blocks, spans, digest}
+
+``trace-end.digest`` is :func:`span_stream_digest` over every earlier
+record — a self-certifying checksum :func:`parse_trace_stream`
+re-verifies, and the witness the determinism tests pin per backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.sim.rng import derive_seed, derive_unit
+from repro.telemetry.events import _UNSAFE_NAME, TelemetryError
+
+#: The pinned trace-stream schema version (v1 is the per-slot stream).
+SPAN_SCHEMA_VERSION = 2
+
+#: Environment override enabling span recording without a CLI flag
+#: (a sample rate in (0, 1]; unset/empty/0 disables tracing).
+TRACE_SAMPLE_ENV_VAR = "REPRO_TRACE_SAMPLE"
+
+#: Default block sample rate when tracing is enabled without a rate.
+DEFAULT_TRACE_SAMPLE = 0.25
+
+#: Record kinds, in emission order.
+TRACE_START = "trace-start"
+TRACE_FAULT = "fault"
+BLOCK_TRACE = "block-trace"
+TRACE_END = "trace-end"
+TRACE_RECORD_KINDS = (TRACE_START, TRACE_FAULT, BLOCK_TRACE, TRACE_END)
+
+#: Canonical lifecycle phases per backend, in causal order.  Phases
+#: not listed here (``view-change``) are annotations: they attach to a
+#: trace without claiming a position on the critical path.
+PHASE_ORDER: Dict[str, Tuple[str, ...]] = {
+    "2ldag": ("created", "gossiped", "received", "referenced",
+              "validated", "confirmed"),
+    "pbft": ("created", "pre-prepare", "prepare", "commit", "confirmed"),
+    "iota": ("created", "received", "approved", "confirmed"),
+}
+
+#: Cumulative approval weight at which the IOTA collector calls a
+#: transaction confirmed (the tangle analogue of a commit quorum).
+IOTA_CONFIRM_WEIGHT = 3
+
+_NUMBER = (int, float)
+
+#: Required fields per record kind: name -> allowed python type(s).
+_TRACE_FIELDS: Dict[str, Dict[str, tuple]] = {
+    TRACE_START: {
+        "scenario": (str,),
+        "backend": (str,),
+        "nodes": (int,),
+        "slots": (int,),
+        "seed": (int,),
+        "sample": _NUMBER,
+    },
+    TRACE_FAULT: {
+        "slot": (int,),
+        "kind": (str,),
+        "time": _NUMBER,
+        "nodes": (list,),
+        "detail": (str,),
+    },
+    BLOCK_TRACE: {
+        "block": (str,),
+        "origin": (int,),
+        "confirmed": (bool,),
+        "spans": (list,),
+        "faults": (list,),
+    },
+    TRACE_END: {
+        "blocks": (int,),
+        "spans": (int,),
+        "digest": (str,),
+    },
+}
+
+_SPAN_KEYS: Dict[str, tuple] = {
+    "phase": (str,),
+    "node": (int,),
+    "slot": (int,),
+    "start": _NUMBER,
+    "end": _NUMBER,
+}
+
+_FAULT_NOTE_KEYS: Dict[str, tuple] = {
+    "slot": (int,),
+    "kind": (str,),
+    "time": _NUMBER,
+    "detail": (str,),
+}
+
+
+def trace_sample_from_env() -> Optional[float]:
+    """The ``$REPRO_TRACE_SAMPLE`` rate, or ``None`` when unset/zero."""
+    raw = os.environ.get(TRACE_SAMPLE_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        rate = float(raw)
+    except ValueError:
+        raise TelemetryError(
+            f"${TRACE_SAMPLE_ENV_VAR} must be a sample rate in (0, 1], "
+            f"got {raw!r}"
+        )
+    if rate <= 0:
+        return None
+    return min(rate, 1.0)
+
+
+def block_sampled(master_seed: int, block_key: str, sample_rate: float) -> bool:
+    """Deterministic membership of one block in the traced sample.
+
+    A pure function of the scenario's master seed and the block key,
+    seeded via the named ``tracing`` stream — so the sampled set never
+    perturbs existing streams and replays identically everywhere.
+    """
+    if sample_rate >= 1.0:
+        return True
+    if sample_rate <= 0.0:
+        return False
+    return derive_unit(derive_seed(master_seed, "tracing"), block_key) < sample_rate
+
+
+def trace_stream_filename(scenario: str, backend: str, seed: int) -> str:
+    """The deterministic trace-stream file name for one run."""
+    safe = _UNSAFE_NAME.sub("-", scenario) or "scenario"
+    return f"trace-{safe}-{backend}-seed{seed}.jsonl"
+
+
+def is_trace_stream(path: Union[str, Path]) -> bool:
+    """Whether a stream file carries the v2 trace schema (by name)."""
+    name = Path(path).name
+    return name.startswith("trace-") and name.endswith(".jsonl")
+
+
+def _canonical_line(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def span_stream_digest(records: Iterable[Dict[str, Any]]) -> str:
+    """Hex SHA-256 over the canonical lines of every non-terminal record.
+
+    The witness ``trace-end.digest`` carries; determinism tests pin it
+    per backend and CI diffs it across tracing-on/off runs.
+    """
+    lines = [
+        _canonical_line(record)
+        for record in records
+        if record.get("event") != TRACE_END
+    ]
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+# -- validation ----------------------------------------------------------------
+
+def _check_fields(
+    record: Dict[str, Any],
+    spec: Dict[str, tuple],
+    what: str,
+    where: str,
+    extra_ok: Iterable[str] = (),
+) -> None:
+    for name, types in spec.items():
+        if name not in record:
+            raise TelemetryError(f"{where}{what} lacks field {name!r}")
+        value = record[name]
+        bad_bool = isinstance(value, bool) and bool not in types
+        if not isinstance(value, types) or bad_bool:
+            raise TelemetryError(
+                f"{where}{what} field {name!r} has type "
+                f"{type(value).__name__}, expected "
+                f"{'/'.join(t.__name__ for t in types)}"
+            )
+    unknown = set(record) - set(spec) - set(extra_ok)
+    if unknown:
+        raise TelemetryError(
+            f"{where}{what} carries unknown field(s): "
+            f"{', '.join(sorted(unknown))}"
+        )
+
+
+def _check_detail(detail: Any, what: str, where: str) -> None:
+    if not isinstance(detail, dict):
+        raise TelemetryError(f"{where}{what} detail must be an object")
+    for key, value in detail.items():
+        if isinstance(value, list):
+            if all(isinstance(item, str) for item in value):
+                continue
+            raise TelemetryError(
+                f"{where}{what} detail[{key!r}] list items must be strings"
+            )
+        if not isinstance(value, (str, int, float, bool)):
+            raise TelemetryError(
+                f"{where}{what} detail[{key!r}] has unsupported type "
+                f"{type(value).__name__}"
+            )
+
+
+def validate_trace_record(record: Any, line: int = 0) -> None:
+    """Raise :class:`TelemetryError` unless ``record`` fits schema v2."""
+    where = f"line {line}: " if line else ""
+    if not isinstance(record, dict):
+        raise TelemetryError(f"{where}record must be a JSON object")
+    version = record.get("v")
+    if version != SPAN_SCHEMA_VERSION:
+        raise TelemetryError(
+            f"{where}trace schema version {version!r} is not the pinned "
+            f"{SPAN_SCHEMA_VERSION}"
+        )
+    kind = record.get("event")
+    if kind not in _TRACE_FIELDS:
+        raise TelemetryError(
+            f"{where}unknown trace record kind {kind!r}; known: "
+            f"{', '.join(TRACE_RECORD_KINDS)}"
+        )
+    _check_fields(
+        record, _TRACE_FIELDS[kind], f"{kind} record", where,
+        extra_ok=("v", "event"),
+    )
+    if kind == TRACE_FAULT:
+        for node in record["nodes"]:
+            if not isinstance(node, int) or isinstance(node, bool):
+                raise TelemetryError(
+                    f"{where}fault record nodes must be integers"
+                )
+    if kind == BLOCK_TRACE:
+        for index, span in enumerate(record["spans"]):
+            what = f"span[{index}]"
+            if not isinstance(span, dict):
+                raise TelemetryError(f"{where}{what} must be an object")
+            _check_fields(span, _SPAN_KEYS, what, where, extra_ok=("detail",))
+            if "detail" in span:
+                _check_detail(span["detail"], what, where)
+            if span["end"] < span["start"]:
+                raise TelemetryError(
+                    f"{where}{what} ends before it starts "
+                    f"({span['end']!r} < {span['start']!r})"
+                )
+        for index, note in enumerate(record["faults"]):
+            what = f"fault-note[{index}]"
+            if not isinstance(note, dict):
+                raise TelemetryError(f"{where}{what} must be an object")
+            _check_fields(note, _FAULT_NOTE_KEYS, what, where)
+
+
+def parse_trace_stream(
+    text: str, source: str = "<stream>"
+) -> List[Dict[str, Any]]:
+    """Parse + validate one trace stream; raises on the first defect.
+
+    Beyond per-record schema checks this verifies the stream's own
+    terminal checksum: ``trace-end`` must carry the block/span counts
+    and the :func:`span_stream_digest` of everything before it.
+    """
+    records: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            raise TelemetryError(
+                f"{source}: line {line_number}: not valid JSON ({error})"
+            )
+        try:
+            validate_trace_record(record, line=line_number)
+        except TelemetryError as error:
+            raise TelemetryError(f"{source}: {error}")
+        records.append(record)
+    if records and records[-1].get("event") == TRACE_END:
+        end = records[-1]
+        body = records[:-1]
+        blocks = sum(1 for r in body if r.get("event") == BLOCK_TRACE)
+        spans = sum(
+            len(r.get("spans", ())) for r in body
+            if r.get("event") == BLOCK_TRACE
+        )
+        digest = span_stream_digest(body)
+        if (end["blocks"], end["spans"]) != (blocks, spans):
+            raise TelemetryError(
+                f"{source}: trace-end counts ({end['blocks']} blocks, "
+                f"{end['spans']} spans) disagree with the stream "
+                f"({blocks} blocks, {spans} spans)"
+            )
+        if end["digest"] != digest:
+            raise TelemetryError(
+                f"{source}: trace-end digest {end['digest']} disagrees "
+                f"with the recomputed stream digest {digest}"
+            )
+    return records
+
+
+def validate_trace_stream(text: str, source: str = "<stream>") -> List[str]:
+    """Every schema violation in ``text`` as messages (empty = clean)."""
+    errors: List[str] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as error:
+            errors.append(
+                f"{source}: line {line_number}: not valid JSON ({error})"
+            )
+            continue
+        try:
+            validate_trace_record(record, line=line_number)
+        except TelemetryError as error:
+            errors.append(f"{source}: {error}")
+    if not errors:
+        try:
+            parse_trace_stream(text, source=source)
+        except TelemetryError as error:
+            errors.append(str(error))
+    return errors
+
+
+# -- collection ----------------------------------------------------------------
+
+class _BlockTrace:
+    """One sampled block's accumulating lifecycle record."""
+
+    __slots__ = ("key", "origin", "events", "confirmed", "faults")
+
+    def __init__(self, key: str, origin: int) -> None:
+        self.key = key
+        self.origin = origin
+        #: (time, phase, node, slot, start, detail) tuples in emission
+        #: order; ``start`` is an explicit span start or ``None`` (the
+        #: drain infers it from the causal predecessor).
+        self.events: List[
+            Tuple[float, str, int, int, Optional[float], Dict[str, Any]]
+        ] = []
+        self.confirmed = False
+        self.faults: List[Dict[str, Any]] = []
+
+
+class SpanCollector:
+    """Fold a deployment's tracer emissions into per-block span trees.
+
+    Subclasses implement :meth:`_on_trace` for their backend's
+    lifecycle categories.  Everything here is read-side: the collector
+    never touches simulation state, never draws from existing random
+    streams, and defers all aggregation to :meth:`block_traces` (one
+    pure drain after the run).
+    """
+
+    backend = ""
+    categories: Tuple[str, ...] = ()
+
+    def __init__(self, master_seed: int, sample_rate: float) -> None:
+        self.master_seed = int(master_seed)
+        self.sample_rate = float(sample_rate)
+        self._traces: Dict[str, _BlockTrace] = {}
+        self._sampled: Dict[str, bool] = {}
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, tracer) -> None:
+        """Subscribe to the deployment tracer's lifecycle categories."""
+        for prefix in self.categories:
+            tracer.subscribe(prefix, self._on_trace)
+
+    def _on_trace(self, record) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- bookkeeping -------------------------------------------------------
+    def sampled(self, key: str) -> bool:
+        """Memoized deterministic sample membership for ``key``."""
+        hit = self._sampled.get(key)
+        if hit is None:
+            hit = block_sampled(self.master_seed, key, self.sample_rate)
+            self._sampled[key] = hit
+        return hit
+
+    def _begin(
+        self, key: str, origin: int, time: float, **detail: Any
+    ) -> Optional[_BlockTrace]:
+        """Open the trace for a newly created block (if sampled)."""
+        if not self.sampled(key):
+            return None
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = _BlockTrace(key, int(origin))
+            self._traces[key] = trace
+            trace.events.append(
+                (float(time), "created", int(origin), int(time), None, detail)
+            )
+        return trace
+
+    def _record(
+        self,
+        key: str,
+        phase: str,
+        node: int,
+        time: float,
+        start: Optional[float] = None,
+        **detail: Any,
+    ) -> None:
+        """Append one lifecycle event to an already-open trace."""
+        trace = self._traces.get(key)
+        if trace is None:
+            return
+        trace.events.append(
+            (float(time), phase, int(node), int(time), start, detail)
+        )
+
+    def _confirm(self, key: str, node: int, time: float, **detail: Any) -> None:
+        trace = self._traces.get(key)
+        if trace is None or trace.confirmed:
+            return
+        trace.confirmed = True
+        self._record(key, "confirmed", node, time, **detail)
+
+    # -- fault annotation (the FaultEngine observer's view) ----------------
+    def fault_applied(self, event, slot: int, time: float) -> None:
+        """Annotate every open (begun, unconfirmed) trace with a fault."""
+        note = {
+            "slot": int(slot),
+            "kind": event.kind,
+            "time": float(time),
+            "detail": event.describe(),
+        }
+        for trace in self._traces.values():
+            if not trace.confirmed:
+                trace.faults.append(dict(note))
+
+    # -- drain -------------------------------------------------------------
+    def block_traces(self) -> List[Dict[str, Any]]:
+        """Every sampled block's finished span tree, as schema-v2 data.
+
+        Span starts are inferred causally: a span begins where its
+        latest earlier-phase predecessor ended (annotation phases fall
+        back to the latest earlier event of any phase).
+        """
+        order = {
+            phase: rank
+            for rank, phase in enumerate(PHASE_ORDER.get(self.backend, ()))
+        }
+        out: List[Dict[str, Any]] = []
+        for trace in self._traces.values():
+            events = sorted(trace.events, key=lambda item: item[0])
+            spans: List[Dict[str, Any]] = []
+            for index, (time, phase, node, slot, start, detail) in enumerate(
+                events
+            ):
+                if start is None:
+                    rank = order.get(phase, len(order))
+                    predecessors = [
+                        other_time
+                        for other_time, other_phase, *_ in events[:index]
+                        if (order.get(other_phase, len(order)) < rank
+                            and other_time <= time)
+                    ]
+                    start = max(predecessors) if predecessors else time
+                span = {
+                    "phase": phase,
+                    "node": node,
+                    "slot": slot,
+                    "start": min(float(start), float(time)),
+                    "end": float(time),
+                }
+                if detail:
+                    span["detail"] = {
+                        key: value for key, value in sorted(detail.items())
+                    }
+                spans.append(span)
+            out.append({
+                "v": SPAN_SCHEMA_VERSION,
+                "event": BLOCK_TRACE,
+                "block": trace.key,
+                "origin": trace.origin,
+                "confirmed": trace.confirmed,
+                "spans": spans,
+                "faults": list(trace.faults),
+            })
+        out.sort(key=lambda record: record["block"])
+        return out
+
+
+class DagSpanCollector(SpanCollector):
+    """2LDAG lifecycle: generate → gossip digests → PoP validation.
+
+    Confirmation is the first *successful* proof-of-presence
+    validation of the block (the device-layer analogue of finality in
+    this backend's experiments).
+    """
+
+    backend = "2ldag"
+    categories = ("block.", "pop.")
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        #: raw digest bytes -> block key, for *sampled* blocks only.
+        #: Registered with the tracer as the ``block.digest_received``
+        #: interest filter, so the per-neighbour receipt flood (the
+        #: sim's most frequent event) is suppressed at the emission
+        #: site for the unsampled majority.
+        self._digest_to_key: Dict[bytes, str] = {}
+
+    def attach(self, tracer) -> None:
+        super().attach(tracer)
+        tracer.set_interest("block.digest_received", self._digest_to_key)
+
+    def _on_trace(self, record) -> None:
+        # Branch order follows emission frequency: digest receipts
+        # outnumber every other lifecycle event by an order of
+        # magnitude, so they take the first comparison.
+        category, detail = record.category, record.detail
+        if category == "block.digest_received":
+            key = self._digest_to_key.get(detail["digest"].value)
+            if key is not None:
+                self._record(
+                    key, "received", record.node, record.time,
+                    sender=detail["sender"],
+                )
+        elif category == "block.created":
+            key = detail["block"]
+            digest = detail["digest"]
+            if self.sampled(key):
+                self._digest_to_key[digest.value] = key
+                self._begin(
+                    key, record.node, record.time,
+                    digest=digest.value.hex(),
+                )
+            for parent in detail.get("refs", ()):
+                # Only sampled parents are in the map, so membership
+                # here already implies an open trace.
+                parent_key = self._digest_to_key.get(parent.value)
+                if parent_key is not None:
+                    self._record(
+                        parent_key, "referenced", record.node, record.time,
+                        by=key,
+                    )
+        elif category == "block.gossiped":
+            if detail["block"] in self._traces:
+                self._record(
+                    detail["block"], "gossiped", record.node, record.time,
+                    neighbors=detail["neighbors"],
+                )
+        elif category == "pop.completed":
+            key = detail["block"]
+            self._record(
+                key, "validated", record.node, record.time,
+                start=detail["started"], success=detail["success"],
+            )
+            if detail["success"]:
+                self._confirm(key, record.node, record.time)
+
+
+class PbftSpanCollector(SpanCollector):
+    """PBFT lifecycle: request → pre-prepare → prepare → commit → reply.
+
+    A request is confirmed when its ``quorum``-th replica executes it
+    (the client would by then hold ``f+1`` matching replies).  View
+    changes annotate every in-flight request as ``view-change`` spans.
+    """
+
+    backend = "pbft"
+    categories = ("pbft.",)
+
+    def __init__(self, *args, quorum: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.quorum = int(quorum)
+        self._executions: Dict[str, int] = {}
+
+    def _annotate_open(self, phase: str, record) -> None:
+        for trace in self._traces.values():
+            if not trace.confirmed:
+                self._record(
+                    trace.key, phase, record.node, record.time,
+                    start=record.time, view=record.detail["view"],
+                )
+
+    def _on_trace(self, record) -> None:
+        category, detail = record.category, record.detail
+        if category == "pbft.request":
+            if self.sampled(detail["key"]):
+                self._begin(detail["key"], record.node, record.time)
+        elif category == "pbft.preprepare":
+            if detail["key"] in self._traces:
+                self._record(
+                    detail["key"], "pre-prepare", record.node, record.time,
+                    view=detail["view"], seq=detail["seq"],
+                )
+        elif category == "pbft.prepared":
+            if detail["key"] in self._traces:
+                self._record(
+                    detail["key"], "prepare", record.node, record.time,
+                    view=detail["view"], seq=detail["seq"],
+                )
+        elif category == "pbft.executed":
+            key = detail["key"]
+            if key not in self._traces:
+                return
+            self._record(
+                key, "commit", record.node, record.time,
+                view=detail["view"], seq=detail["seq"],
+            )
+            count = self._executions.get(key, 0) + 1
+            self._executions[key] = count
+            if count >= self.quorum:
+                self._confirm(key, record.node, record.time, seq=detail["seq"])
+        elif category == "pbft.viewchange":
+            self._annotate_open("view-change", record)
+        elif category == "pbft.newview":
+            self._annotate_open("view-change", record)
+
+
+class IotaSpanCollector(SpanCollector):
+    """IOTA lifecycle: attach (tip selection) → gossip → approval weight.
+
+    The collector mirrors the attach-event parent graph and confirms a
+    transaction when its cumulative approval weight (number of direct
+    and indirect approvers) reaches ``confirm_weight`` — the read-side
+    analogue of the tangle's confirmation rule.
+    """
+
+    backend = "iota"
+    categories = ("iota.",)
+
+    def __init__(
+        self, *args, confirm_weight: int = IOTA_CONFIRM_WEIGHT, **kwargs
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.confirm_weight = int(confirm_weight)
+        #: raw digest bytes -> key / parent digests / cumulative weight.
+        #: The emission site hands over the Transaction itself; its
+        #: memoised digest keeps the per-receive cost to a dict lookup.
+        self._digest_to_key: Dict[bytes, str] = {}
+        self._parents: Dict[bytes, Tuple[bytes, ...]] = {}
+        self._weights: Dict[bytes, int] = {}
+
+    def _on_trace(self, record) -> None:
+        category, detail = record.category, record.detail
+        if category == "iota.attach":
+            tx = detail["tx"]
+            digest = tx.digest().value
+            key = tx.payload_seed.decode("utf-8", "replace")
+            parents = tuple(tx.parents)
+            self._digest_to_key[digest] = key
+            self._parents[digest] = parents
+            if self.sampled(key):
+                self._begin(
+                    key, record.node, record.time, digest=digest.hex()
+                )
+            for parent in parents:
+                parent_key = self._digest_to_key.get(parent)
+                if parent_key is not None and parent_key in self._traces:
+                    self._record(
+                        parent_key, "approved", record.node, record.time,
+                        by=key,
+                    )
+            # Incremental cumulative weight: the new transaction adds
+            # one unit to every (transitive) ancestor it approves.
+            seen = set()
+            frontier = list(parents)
+            while frontier:
+                ancestor = frontier.pop()
+                if ancestor in seen or ancestor not in self._parents:
+                    continue
+                seen.add(ancestor)
+                weight = self._weights.get(ancestor, 0) + 1
+                self._weights[ancestor] = weight
+                frontier.extend(self._parents[ancestor])
+                if weight == self.confirm_weight:
+                    ancestor_key = self._digest_to_key.get(ancestor)
+                    if ancestor_key is not None:
+                        self._confirm(
+                            ancestor_key, record.node, record.time,
+                            weight=weight,
+                        )
+        elif category == "iota.received":
+            key = self._digest_to_key.get(detail["tx"].digest().value)
+            if key is not None and key in self._traces:
+                self._record(key, "received", record.node, record.time)
+
+
+# -- recording -----------------------------------------------------------------
+
+class SpanRecorder:
+    """Write one run's trace stream under a telemetry directory.
+
+    The runner-facing twin of
+    :class:`~repro.telemetry.events.TelemetryRecorder`: the
+    :class:`~repro.scenario.runner.ScenarioRunner` calls
+    ``run_started`` / ``fault_applied`` / ``run_finished`` and the
+    recorder validates + appends JSONL records.  ``run_started``
+    truncates any previous stream of the same run name so re-runs are
+    byte-deterministic.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        sample: float = DEFAULT_TRACE_SAMPLE,
+    ) -> None:
+        self.directory = Path(directory)
+        self.sample = float(sample)
+        self.path: Optional[Path] = None
+        self.records_written = 0
+        self.blocks_traced = 0
+        self._body: List[Dict[str, Any]] = []
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        validate_trace_record(record)
+        if self.path is None:
+            raise TelemetryError(
+                "trace stream not opened; run_started() must come first"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(_canonical_line(record) + "\n")
+        if record["event"] != TRACE_END:
+            self._body.append(record)
+        self.records_written += 1
+
+    # -- the runner-facing hooks -------------------------------------------
+    def run_started(self, spec) -> None:
+        """Open the stream and emit the ``trace-start`` record."""
+        self.path = self.directory / trace_stream_filename(
+            spec.name, spec.backend, spec.seed
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+        self._body = []
+        self.records_written = 0
+        self._write({
+            "v": SPAN_SCHEMA_VERSION,
+            "event": TRACE_START,
+            "scenario": spec.name,
+            "backend": spec.backend,
+            "nodes": spec.node_count,
+            "slots": spec.workload.slots,
+            "seed": spec.seed,
+            "sample": self.sample,
+        })
+
+    def fault_applied(self, event, slot: int, time: float) -> None:
+        """Emit one stream-level ``fault`` record (structured nodes)."""
+        self._write({
+            "v": SPAN_SCHEMA_VERSION,
+            "event": TRACE_FAULT,
+            "slot": int(slot),
+            "kind": event.kind,
+            "time": float(time),
+            "nodes": sorted(int(n) for n in event.nodes),
+            "detail": event.describe(),
+        })
+
+    def run_finished(self, block_traces: List[Dict[str, Any]]) -> None:
+        """Emit every ``block-trace`` and the terminal ``trace-end``.
+
+        Batched into one append (hundreds of traces land at once), with
+        every record still schema-validated before it is written.
+        """
+        if self.path is None:
+            raise TelemetryError(
+                "trace stream not opened; run_started() must come first"
+            )
+        spans = 0
+        lines: List[str] = []
+        for record in block_traces:
+            validate_trace_record(record)
+            lines.append(_canonical_line(record))
+            self._body.append(record)
+            spans += len(record["spans"])
+        self.blocks_traced = len(block_traces)
+        terminal = {
+            "v": SPAN_SCHEMA_VERSION,
+            "event": TRACE_END,
+            "blocks": len(block_traces),
+            "spans": spans,
+            "digest": span_stream_digest(self._body),
+        }
+        validate_trace_record(terminal)
+        lines.append(_canonical_line(terminal))
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        self.records_written += len(lines)

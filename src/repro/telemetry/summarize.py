@@ -42,9 +42,18 @@ from repro.telemetry.metrics import MetricsRegistry
 def read_streams(
     paths: Iterable[Union[str, Path]],
 ) -> List[Tuple[Path, List[Dict[str, Any]]]]:
-    """Parse+validate every stream under ``paths`` (dirs are globbed)."""
+    """Parse+validate every stream under ``paths`` (dirs are globbed).
+
+    Block-trace streams (the v2 schema of :mod:`repro.telemetry.spans`)
+    share the directory and the ``.jsonl`` suffix but not the schema;
+    they are skipped here and read by :mod:`repro.telemetry.tracepath`.
+    """
+    from repro.telemetry.spans import is_trace_stream
+
     out: List[Tuple[Path, List[Dict[str, Any]]]] = []
     for path in ev.discover_streams(paths):
+        if is_trace_stream(path):
+            continue
         records = ev.parse_stream(path.read_text(), source=str(path))
         out.append((path, records))
     return out

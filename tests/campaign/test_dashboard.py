@@ -88,3 +88,69 @@ class TestStatusDocument:
             json.dumps(executor.status_document(campaign), sort_keys=True)
         )
         assert round_tripped["total"] == 2
+
+
+HOSTILE = '<script>alert("xss")&</script>'
+
+
+class TestPanelsAndEscaping:
+    def hostile_campaign(self):
+        import dataclasses
+
+        spec = dataclasses.replace(tiny_spec(), name=HOSTILE)
+        return CampaignSpec(name=HOSTILE, cells=replicate_seeds(spec, (0,)))
+
+    def monitors_doc(self, detail="ok", status="pass"):
+        return {
+            "v": 1,
+            "runs": [{
+                "scenario": HOSTILE, "backend": "2ldag", "seed": 0,
+                "streams": [],
+                "monitors": [
+                    {"id": "liveness-progress", "status": status,
+                     "detail": detail},
+                ],
+            }],
+            "counts": {"pass": 1, "fail": 0, "skip": 0},
+            "status": status,
+        }
+
+    def test_hostile_cell_names_never_reach_markup_raw(self, tmp_path):
+        campaign = self.hostile_campaign()
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        page = render_dashboard(campaign, executor)
+        assert "<script" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_monitor_panel_renders_and_escapes(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        page = render_dashboard(
+            campaign, executor, monitors=self.monitors_doc(detail=HOSTILE)
+        )
+        assert "Invariant monitors" in page
+        assert "liveness-progress" in page
+        assert "<script" not in page
+        assert page.count("&lt;script&gt;") >= 2  # scenario + detail cells
+
+    def test_waterfall_panel_escapes_caption_embeds_svg(self, campaign, tmp_path):
+        from repro.telemetry.tracepath import waterfall_svg
+
+        trace = {
+            "v": 2, "event": "block-trace", "block": HOSTILE + "#0",
+            "origin": 0, "confirmed": True, "faults": [],
+            "spans": [{"phase": "created", "node": 0, "slot": 1,
+                       "start": 1.0, "end": 1.0}],
+        }
+        svg = waterfall_svg(trace, "2ldag")
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        page = render_dashboard(
+            campaign, executor, waterfalls=[(HOSTILE, svg)]
+        )
+        assert "Block lifecycle" in page or "waterfall" in page.lower()
+        assert "<svg" in page
+        assert "<script" not in page
+
+    def test_panels_absent_without_documents(self, campaign, tmp_path):
+        executor = CampaignExecutor(cache_dir=tmp_path / "cache")
+        page = render_dashboard(campaign, executor)
+        assert "Invariant monitors" not in page

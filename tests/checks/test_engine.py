@@ -123,7 +123,7 @@ class TestResolution:
 
 
 class TestRuleConfiguration:
-    def test_all_nine_rules_registered(self):
+    def test_all_ten_rules_registered(self):
         assert set(rule_ids()) == {
             "backend-bypass",
             "builtin-hash-in-digest",
@@ -134,6 +134,7 @@ class TestRuleConfiguration:
             "unfrozen-spec-dataclass",
             "unseeded-random",
             "wall-clock-in-sim",
+            "wall-clock-in-telemetry",
         }
 
     def test_select_restricts(self):

@@ -307,3 +307,32 @@ class TestRealTreeFixtures:
         )
         assert found == []
         assert suppressed == 1
+
+
+class TestWallClockInTelemetry:
+    def test_time_time_in_telemetry_fires(self):
+        assert rules_fired(
+            "import time\nt = time.time()\n",
+            path="src/repro/telemetry/spans.py",
+        ) == ["wall-clock-in-telemetry"]
+
+    def test_datetime_now_fires(self):
+        assert rules_fired(
+            "from datetime import datetime\nstamp = datetime.now()\n",
+            path="src/repro/telemetry/monitors.py",
+        ) == ["wall-clock-in-telemetry"]
+
+    def test_outside_telemetry_zone_is_the_sim_rules_problem(self):
+        # The telemetry rule is zoned: the same read elsewhere is
+        # covered (or deliberately not) by wall-clock-in-sim.
+        assert "wall-clock-in-telemetry" not in rules_fired(
+            "import time\nt = time.time()\n",
+            path="src/repro/bench/runner.py",
+        )
+
+    def test_slot_time_bookkeeping_is_fine(self):
+        source = (
+            "def record(self, now, counters):\n"
+            "    self.last_slot = int(now)\n"
+        )
+        assert rules_fired(source, path="src/repro/telemetry/events.py") == []

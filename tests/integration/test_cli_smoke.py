@@ -303,3 +303,129 @@ class TestBench:
     def test_bench_unknown_op_exits_2(self, capsys):
         code = main(["bench", "--fast", "--only", "warp_drive"])
         assert code == 2
+
+
+class TestTracingCLI:
+    @pytest.fixture(scope="class")
+    def traced_dir(self, tmp_path_factory, tiny_scenario_file):
+        """One traced run every test in this class reads."""
+        directory = tmp_path_factory.mktemp("traced")
+        code = main(["simulate", "--scenario", tiny_scenario_file,
+                     "--telemetry", str(directory),
+                     "--trace-sample", "1.0"])
+        assert code == 0
+        return directory
+
+    def test_simulate_reports_trace_stream(self, capsys, tmp_path,
+                                           tiny_scenario_file):
+        code = main(["simulate", "--scenario", tiny_scenario_file,
+                     "--telemetry", str(tmp_path),
+                     "--trace-sample", "0.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace stream:" in out
+        assert "sample 0.5" in out
+        assert list(tmp_path.glob("trace-*.jsonl"))
+
+    def test_trace_sample_without_telemetry_dir_exits_2(self, capsys,
+                                                        monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        code = main(["simulate", "--scenario", "quickstart",
+                     "--trace-sample", "0.5"])
+        assert code == 2
+        assert "telemetry directory" in capsys.readouterr().err
+
+    def test_validate_partitions_trace_streams(self, capsys, traced_dir):
+        assert main(["telemetry", "validate", str(traced_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 trace stream(s)" in out
+
+    def test_trace_report_text_and_json(self, capsys, traced_dir):
+        assert main(["telemetry", "trace", str(traced_dir)]) == 0
+        text = capsys.readouterr().out
+        assert "2ldag" in text
+
+        assert main(["telemetry", "trace", str(traced_dir), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["runs"][0]["backend"] == "2ldag"
+
+    def test_trace_block_waterfall(self, capsys, traced_dir):
+        assert main(["telemetry", "trace", str(traced_dir), "--json"]) == 0
+        # Any traced block key works; recover one from the stream.
+        stream = next(traced_dir.glob("trace-*.jsonl"))
+        capsys.readouterr()
+        key = next(
+            json.loads(l)["block"] for l in stream.read_text().splitlines()
+            if '"block-trace"' in l
+        )
+        assert main(["telemetry", "trace", str(traced_dir),
+                     "--block", key]) == 0
+        assert f"block {key}" in capsys.readouterr().out
+
+        assert main(["telemetry", "trace", str(traced_dir),
+                     "--block", "no-such-block"]) == 1
+
+    def test_trace_svg_export(self, capsys, traced_dir, tmp_path):
+        out_path = tmp_path / "waterfall.svg"
+        assert main(["telemetry", "trace", str(traced_dir),
+                     "--svg", str(out_path)]) == 0
+        assert out_path.read_text().startswith("<svg")
+
+    def test_trace_on_empty_dir_exits_1(self, capsys, tmp_path):
+        code = main(["telemetry", "trace", str(tmp_path)])
+        assert code == 1
+        assert "no trace streams" in capsys.readouterr().err
+
+    def test_summarize_json_skips_trace_streams(self, capsys, traced_dir):
+        assert main(["telemetry", "summarize", str(traced_dir),
+                     "--json"]) == 0
+        summaries = json.loads(capsys.readouterr().out)
+        assert len(summaries) == 1  # the v1 stream only
+        assert summaries[0]["backend"] == "2ldag"
+
+    def test_bench_trace_sample_requires_telemetry(self, capsys):
+        code = main(["bench", "--fast", "--only", "kernel_callbacks",
+                     "--no-check", "--trace-sample", "0.5"])
+        assert code == 2
+        assert "--telemetry" in capsys.readouterr().err
+
+
+class TestMonitorsCLI:
+    def test_campaign_run_with_monitors_reports_and_gates(self, capsys,
+                                                          tmp_path):
+        telemetry = tmp_path / "tel"
+        code = main(["campaign", "run", "smoke",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--telemetry", str(telemetry),
+                     "--trace-sample", "1.0",
+                     "--monitors", "strict"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "monitors: pass" in out
+        document = json.loads((telemetry / "monitors-smoke.json").read_text())
+        assert document["status"] == "pass"
+
+        # status surfaces the persisted verdicts
+        assert main(["campaign", "status", "smoke",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--telemetry", str(telemetry)]) == 0
+        assert "invariant monitors: pass" in capsys.readouterr().out
+
+        # the dashboard embeds the monitor panel and a waterfall
+        out_path = tmp_path / "dash.html"
+        assert main(["campaign", "dashboard", "smoke",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--telemetry", str(telemetry),
+                     "--out", str(out_path)]) == 0
+        page = out_path.read_text()
+        assert "Invariant monitors" in page
+        assert "<svg" in page
+
+    def test_monitors_without_telemetry_dir_exits_2(self, capsys, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+        code = main(["campaign", "run", "smoke",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--monitors", "report"])
+        assert code == 2
+        assert "telemetry" in capsys.readouterr().err

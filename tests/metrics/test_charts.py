@@ -46,3 +46,25 @@ class TestRenderChart:
         chart = render_chart([1, 2], {"A": [1, 2]}, height=5)
         # header + 5 rows + axis + x labels + legend
         assert len(chart.splitlines()) == 9
+
+
+class TestGoldenOutput:
+    """Byte-exact render pin: catches accidental drift in the ASCII
+    chart geometry that the per-feature assertions above would miss.
+    Update the digest only for a deliberate rendering change."""
+
+    GOLDEN_SHA256 = (
+        "dac11efe92ba6f4bcb93b6af511f414a74f3cff6712ad481148d364fcfef15de"
+    )
+
+    def test_fixed_input_renders_byte_identically(self):
+        import hashlib
+
+        chart = render_chart(
+            [1, 2, 4, 8],
+            {"2LDAG": [1.0, 2.5, 4.0, 9.5],
+             "IOTA": [2.0, 8.0, 32.0, 128.0]},
+            height=8, width=32, log_y=True, y_label="MB",
+        )
+        digest = hashlib.sha256(chart.encode()).hexdigest()
+        assert digest == self.GOLDEN_SHA256, f"chart drifted:\n{chart}"

@@ -51,3 +51,31 @@ class TestDegreeHistogram:
     def test_empty(self):
         empty = Topology(positions={}, adjacency={}, comm_range=1.0)
         assert "empty" in degree_histogram(empty)
+
+
+class TestGoldenOutput:
+    """Byte-exact render pins for the topology map and histogram.
+    Update a digest only for a deliberate rendering change."""
+
+    TOPOLOGY_SHA256 = (
+        "bf58c473b2d2d733be8f6f673d28024f413e0176ebf9bb937e522fcf9e82ffe9"
+    )
+    HISTOGRAM_SHA256 = (
+        "127ccce55f231dc43e90decf05a3c9aec12a7ad8649923130e04abe87667278b"
+    )
+
+    def test_topology_map_renders_byte_identically(self):
+        import hashlib
+
+        art = render_topology(
+            grid_topology(3, 3), width=30, height=10, roles={4: "X"}
+        )
+        digest = hashlib.sha256(art.encode()).hexdigest()
+        assert digest == self.TOPOLOGY_SHA256, f"map drifted:\n{art}"
+
+    def test_degree_histogram_renders_byte_identically(self):
+        import hashlib
+
+        hist = degree_histogram(grid_topology(3, 3))
+        digest = hashlib.sha256(hist.encode()).hexdigest()
+        assert digest == self.HISTOGRAM_SHA256, f"histogram drifted:\n{hist}"
